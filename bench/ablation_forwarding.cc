@@ -1,0 +1,56 @@
+// Ablation: the Section 3.3 forwarding optimization. With forwarding, a
+// transaction whose locks live on Ncc CC threads costs Ncc+1 messages (each
+// CC forwards the chain directly to the next); without it, the execution
+// thread mediates every hop and pays 2*Ncc messages.
+//
+// Expected shape: no difference at 1 partition per transaction (both are 2
+// messages); a growing gap as partitions per transaction rise, with the
+// non-forwarding variant also holding contended locks longer (more message
+// delays while earlier locks are held).
+#include <vector>
+
+#include "bench/common/bench_harness.h"
+
+int main() {
+  using namespace orthrus;
+  using namespace orthrus::bench;
+
+  const int kCores = 80;
+  const int kCc = 16;
+  const std::vector<int> parts_per_txn = {1, 2, 4, 8};
+  std::vector<std::string> xs;
+  for (int p : parts_per_txn) xs.push_back(std::to_string(p));
+  PrintHeader("Ablation: CC->CC forwarding (Section 3.3), 80 cores",
+              "tput (M/s) @parts", xs);
+
+  for (bool forwarding : {true, false}) {
+    std::vector<double> tputs;
+    std::vector<double> msgs_per_txn;
+    for (int k : parts_per_txn) {
+      workload::KvConfig kv;
+      kv.num_records = KvRecords();
+      kv.row_bytes = KvRowBytes();
+      kv.num_partitions = kCc;
+      kv.placement = workload::KvConfig::Placement::kFixedCount;
+      kv.partitions_per_txn = k;
+      kv.seed = 33;
+      workload::KvWorkload wl(kv);
+      engine::OrthrusOptions oo;
+      oo.num_cc = kCc;
+      oo.forwarding = forwarding;
+      engine::OrthrusEngine eng(BenchOptions(kCores), oo);
+      RunResult r = RunPoint(&eng, &wl, kCores, 1);
+      tputs.push_back(r.Throughput());
+      msgs_per_txn.push_back(
+          r.total.committed > 0
+              ? static_cast<double>(r.total.messages_sent) /
+                    r.total.committed
+              : 0.0);
+    }
+    PrintRow(forwarding ? "forwarding (Ncc+1)" : "no-forward (2Ncc)", tputs);
+    std::printf("%-22s", "  messages/txn");
+    for (double m : msgs_per_txn) std::printf("%12.1f", m);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared benchmark harness: builds a fresh database + simulator per data
+// point, runs an engine, and prints paper-style rows.
+//
+// Environment knobs:
+//   ORTHRUS_BENCH_MS      virtual milliseconds per data point (default 5)
+//   ORTHRUS_BENCH_RECORDS table size for the KV workloads (default 200000)
+//   ORTHRUS_PAPER_SCALE   set to 1 for paper-sized tables (10M x 1000B) —
+//                         needs tens of GB and long runs; off by default.
+#ifndef ORTHRUS_BENCH_COMMON_BENCH_HARNESS_H_
+#define ORTHRUS_BENCH_COMMON_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/deadlockfree/deadlockfree_engine.h"
+#include "engine/orthrus/orthrus_engine.h"
+#include "engine/partitioned/partitioned_engine.h"
+#include "engine/twopl/twopl_engine.h"
+#include "hal/sim_platform.h"
+#include "workload/micro.h"
+#include "workload/tpcc/tpcc_workload.h"
+#include "workload/ycsb.h"
+
+namespace orthrus::bench {
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : def;
+}
+
+inline std::uint64_t EnvU64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+inline double PointSeconds() {
+  return EnvDouble("ORTHRUS_BENCH_MS", 5.0) / 1000.0;
+}
+
+inline bool PaperScale() { return EnvU64("ORTHRUS_PAPER_SCALE", 0) != 0; }
+
+inline std::uint64_t KvRecords() {
+  if (PaperScale()) return 10'000'000;
+  return EnvU64("ORTHRUS_BENCH_RECORDS", 200'000);
+}
+
+inline std::uint32_t KvRowBytes() { return PaperScale() ? 1000 : 100; }
+
+inline engine::EngineOptions BenchOptions(int cores) {
+  engine::EngineOptions o;
+  o.num_cores = cores;
+  o.duration_seconds = PointSeconds();
+  o.lock_buckets = 1 << 16;
+  return o;
+}
+
+// Runs `eng` on a fresh database loaded from `wl`. `table_partitions` > 1
+// builds split indexes; `partitioner_n` overrides the partition universe
+// after load when nonzero (e.g. ORTHRUS CC count over unsplit tables).
+inline RunResult RunPoint(engine::Engine* eng, workload::Workload* wl,
+                          int cores, int table_partitions,
+                          int partitioner_n = 0) {
+  storage::Database db;
+  wl->Load(&db, table_partitions);
+  if (partitioner_n != 0) db.partitioner().n = partitioner_n;
+  hal::SimPlatform sim(cores);
+  return eng->Run(&sim, &db, *wl);
+}
+
+// Prints one series row: label followed by throughput values in Mtxns/s.
+inline void PrintHeader(const std::string& title, const std::string& xlabel,
+                        const std::vector<std::string>& xs) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-22s", xlabel.c_str());
+  for (const std::string& x : xs) std::printf("%12s", x.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& tputs) {
+  std::printf("%-22s", label.c_str());
+  for (double t : tputs) std::printf("%12.3f", t / 1e6);
+  std::printf("\n");
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("%s\n", note.c_str());
+}
+
+}  // namespace orthrus::bench
+
+#endif  // ORTHRUS_BENCH_COMMON_BENCH_HARNESS_H_

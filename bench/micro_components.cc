@@ -1,0 +1,121 @@
+// Component micro-benchmarks (google-benchmark): real-time costs of the
+// building blocks on the host machine — SPSC queue ops, lock-table
+// acquire/release, RNG draws, fiber switches, and simulator event
+// dispatch. These measure the *infrastructure itself* (wall-clock), unlike
+// the fig* binaries which measure *simulated* engine throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "hal/fiber.h"
+#include "hal/sim_platform.h"
+#include "lock/lock_table.h"
+#include "mp/spsc_queue.h"
+
+namespace {
+
+using namespace orthrus;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(42);
+  ZipfianGenerator zipf(1000000, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_SpscEnqueueDequeue(benchmark::State& state) {
+  mp::SpscQueue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.TryEnqueue(1);
+    q.TryDequeue(&v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SpscEnqueueDequeue);
+
+void BM_LockTableAcquireRelease(benchmark::State& state) {
+  lock::LockTable::Config cfg;
+  cfg.num_buckets = 1 << 12;
+  cfg.max_lock_heads = 1 << 16;
+  cfg.max_workers = 1;
+  lock::LockTable table(cfg);
+  WorkerStats stats;
+  lock::WorkerLockCtx* ctx = table.RegisterWorker(0, &stats);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    table.Acquire(ctx, 0, key++ & 1023, txn::LockMode::kExclusive, nullptr);
+    table.ReleaseAll(ctx);
+  }
+}
+BENCHMARK(BM_LockTableAcquireRelease);
+
+void BM_FiberSwitchPair(benchmark::State& state) {
+  // Round-trip context switch cost: main -> fiber -> main.
+  void* main_sp = nullptr;
+  hal::Fiber* fp = nullptr;
+  bool stop = false;
+  hal::Fiber fiber([&] {
+    while (!stop) {
+      hal::Fiber::SwitchOut(fp->mutable_sp(), main_sp);
+    }
+  });
+  fp = &fiber;
+  for (auto _ : state) {
+    fiber.SwitchIn(&main_sp);
+  }
+  stop = true;
+  fiber.SwitchIn(&main_sp);
+}
+BENCHMARK(BM_FiberSwitchPair);
+
+void BM_SimEventDispatch(benchmark::State& state) {
+  // Wall-time per simulated scheduling event: N cores ping-ponging on
+  // relax. This bounds how much virtual time per second the host can
+  // simulate.
+  const int cores = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    hal::SimPlatform sim(cores);
+    for (int i = 0; i < cores; ++i) {
+      sim.Spawn(i, [] {
+        for (int k = 0; k < 1000; ++k) hal::CpuRelax();
+      });
+    }
+    state.ResumeTiming();
+    sim.Run();
+    state.SetItemsProcessed(state.items_processed() + cores * 1000);
+  }
+}
+BENCHMARK(BM_SimEventDispatch)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SimContendedAtomic(benchmark::State& state) {
+  // Simulated contended fetch_add: how expensive is the modeled path.
+  for (auto _ : state) {
+    state.PauseTiming();
+    hal::SimPlatform sim(8);
+    auto hot = std::make_unique<hal::Atomic<std::uint64_t>>();
+    for (int i = 0; i < 8; ++i) {
+      sim.Spawn(i, [&] {
+        for (int k = 0; k < 500; ++k) hot->fetch_add(1);
+      });
+    }
+    state.ResumeTiming();
+    sim.Run();
+    state.SetItemsProcessed(state.items_processed() + 8 * 500);
+  }
+}
+BENCHMARK(BM_SimContendedAtomic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

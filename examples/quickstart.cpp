@@ -1,0 +1,75 @@
+// Quickstart: build a database, run the same contended workload through a
+// conventional 2PL engine and through ORTHRUS, and compare.
+//
+//   $ ./build/examples/quickstart
+//
+// Everything runs on the deterministic multicore simulator, so the output
+// is reproducible on any machine (including single-core ones).
+#include <cstdio>
+
+#include "engine/orthrus/orthrus_engine.h"
+#include "engine/twopl/twopl_engine.h"
+#include "hal/sim_platform.h"
+#include "workload/micro.h"
+
+int main() {
+  using namespace orthrus;
+
+  // A workload with a small hot set: every transaction updates 2 of 64 hot
+  // records plus 8 cold ones — the paper's high-contention microbenchmark.
+  workload::KvConfig kv;
+  kv.num_records = 100000;
+  kv.ops_per_txn = 10;
+  kv.hot_records = 64;
+  kv.num_partitions = 8;  // ORTHRUS will run 8 concurrency-control threads
+  // Single-partition placement: each transaction's locks live on one CC
+  // thread (the paper's best-case ORTHRUS configuration).
+  kv.placement = workload::KvConfig::Placement::kFixedCount;
+  kv.partitions_per_txn = 1;
+
+  const int kCores = 40;
+  const double kSeconds = 0.005;  // virtual seconds per run
+
+  std::printf("workload: 10-RMW txns, 2 hot of %llu + 8 cold, %d cores\n\n",
+              static_cast<unsigned long long>(kv.hot_records), kCores);
+
+  // --- Conventional 2PL with Dreadlocks deadlock detection -------------
+  {
+    workload::KvWorkload wl(kv);
+    storage::Database db;
+    wl.Load(&db, /*num_table_partitions=*/1);
+
+    engine::EngineOptions options;
+    options.num_cores = kCores;
+    options.duration_seconds = kSeconds;
+    engine::TwoPlEngine eng(options, engine::DeadlockPolicyKind::kDreadlocks);
+
+    hal::SimPlatform sim(kCores);
+    RunResult r = eng.Run(&sim, &db, wl);
+    std::printf("%-18s %s\n", eng.name().c_str(), r.Summary().c_str());
+  }
+
+  // --- ORTHRUS: 8 CC threads + 32 execution threads ---------------------
+  {
+    workload::KvWorkload wl(kv);
+    storage::Database db;
+    wl.Load(&db, /*num_table_partitions=*/1);
+
+    engine::EngineOptions options;
+    options.num_cores = kCores;
+    options.duration_seconds = kSeconds;
+    engine::OrthrusOptions orthrus;
+    orthrus.num_cc = 8;
+    engine::OrthrusEngine eng(options, orthrus);
+
+    hal::SimPlatform sim(kCores);
+    RunResult r = eng.Run(&sim, &db, wl);
+    std::printf("%-18s %s\n", eng.name().c_str(), r.Summary().c_str());
+  }
+
+  std::printf(
+      "\nORTHRUS keeps contended lock meta-data core-local and avoids\n"
+      "deadlock handling entirely, so it retains throughput that the\n"
+      "conventional architecture loses to latch contention and aborts.\n");
+  return 0;
+}

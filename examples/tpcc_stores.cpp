@@ -1,0 +1,91 @@
+// TPC-C demo: runs the NewOrder + Payment mix on every engine at two
+// contention levels (1 warehouse = extreme, 32 warehouses = mild), prints
+// throughput, abort rates and the CPU-time breakdown, and verifies the
+// database's money/order conservation invariants after every run.
+//
+//   $ ./build/examples/tpcc_stores
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "engine/deadlockfree/deadlockfree_engine.h"
+#include "engine/orthrus/orthrus_engine.h"
+#include "engine/twopl/twopl_engine.h"
+#include "hal/sim_platform.h"
+#include "workload/tpcc/tpcc_workload.h"
+
+int main() {
+  using namespace orthrus;
+  using workload::tpcc::TpccScale;
+  using workload::tpcc::TpccWorkload;
+
+  const int kCores = 40;
+  engine::EngineOptions options;
+  options.num_cores = kCores;
+  options.duration_seconds = 0.004;
+
+  auto run_one = [&](const char* label, TpccScale scale,
+                     const std::function<std::unique_ptr<engine::Engine>()>&
+                         make,
+                     int partitioner_n) {
+    TpccWorkload wl(scale);
+    storage::Database db;
+    wl.Load(&db, 1);
+    if (partitioner_n != 0) db.partitioner().n = partitioner_n;
+    auto eng = make();
+    hal::SimPlatform sim(kCores);
+    RunResult r = eng->Run(&sim, &db, wl);
+
+    // Verify conservation invariants (Payment money, NewOrder order ids).
+    const auto tally = wl.aux()->tallies.Sum();
+    const bool consistent =
+        tally.neworders + tally.payments == r.total.committed &&
+        wl.TotalWarehouseYtd(db) == tally.payment_cents &&
+        wl.TotalOrdersPlaced(db) == tally.neworders &&
+        wl.TotalStockYtd(db) == tally.ordered_qty;
+
+    std::printf("  %-16s %9.0f txns/s  aborts %5.1f%%  exec %4.1f%%  "
+                "invariants %s\n",
+                label, r.Throughput(), 100.0 * r.AbortRate(),
+                100.0 * r.TimeFraction(TimeCategory::kExecution),
+                consistent ? "OK" : "VIOLATED");
+  };
+
+  for (int warehouses : {1, 32}) {
+    TpccScale scale;
+    scale.warehouses = warehouses;
+    scale.customers_per_district = 120;
+    scale.items = 1000;
+    scale.order_ring_capacity = 16384;
+    std::printf("\nTPC-C with %d warehouse%s (%s contention), %d cores:\n",
+                warehouses, warehouses == 1 ? "" : "s",
+                warehouses == 1 ? "extreme" : "mild", kCores);
+
+    const int n_cc = 8;
+    run_one("orthrus", scale,
+            [&] {
+              engine::OrthrusOptions oo;
+              oo.num_cc = n_cc;
+              return std::make_unique<engine::OrthrusEngine>(options, oo);
+            },
+            n_cc);
+    run_one("deadlock-free", scale,
+            [&] {
+              return std::make_unique<engine::DeadlockFreeEngine>(options);
+            },
+            0);
+    run_one("2pl-dreadlocks", scale,
+            [&] {
+              return std::make_unique<engine::TwoPlEngine>(
+                  options, engine::DeadlockPolicyKind::kDreadlocks);
+            },
+            0);
+    run_one("2pl-waitdie", scale,
+            [&] {
+              return std::make_unique<engine::TwoPlEngine>(
+                  options, engine::DeadlockPolicyKind::kWaitDie);
+            },
+            0);
+  }
+  return 0;
+}

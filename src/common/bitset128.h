@@ -1,0 +1,81 @@
+// Fixed 128-bit bitset used by the Dreadlocks digest (one bit per worker)
+// and the simulator's cache-line sharer tracking. Supports up to 128 logical
+// cores, which comfortably covers the paper's 80-core configurations.
+#ifndef ORTHRUS_COMMON_BITSET128_H_
+#define ORTHRUS_COMMON_BITSET128_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace orthrus {
+
+// A trivially-copyable 2-word bitset. All operations are branch-light so the
+// simulator can use it on every memory access.
+struct Bitset128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  static constexpr int kBits = 128;
+
+  static Bitset128 Single(int bit) {
+    Bitset128 b;
+    b.Set(bit);
+    return b;
+  }
+
+  void Set(int bit) {
+    ORTHRUS_DCHECK(bit >= 0 && bit < kBits);
+    if (bit < 64) {
+      lo |= (1ull << bit);
+    } else {
+      hi |= (1ull << (bit - 64));
+    }
+  }
+
+  void Clear(int bit) {
+    ORTHRUS_DCHECK(bit >= 0 && bit < kBits);
+    if (bit < 64) {
+      lo &= ~(1ull << bit);
+    } else {
+      hi &= ~(1ull << (bit - 64));
+    }
+  }
+
+  bool Test(int bit) const {
+    ORTHRUS_DCHECK(bit >= 0 && bit < kBits);
+    if (bit < 64) return (lo >> bit) & 1;
+    return (hi >> (bit - 64)) & 1;
+  }
+
+  void Reset() {
+    lo = 0;
+    hi = 0;
+  }
+
+  void Union(const Bitset128& other) {
+    lo |= other.lo;
+    hi |= other.hi;
+  }
+
+  bool Empty() const { return lo == 0 && hi == 0; }
+
+  int Count() const {
+    return __builtin_popcountll(lo) + __builtin_popcountll(hi);
+  }
+
+  // True iff any bit other than `bit` is set.
+  bool AnyOtherThan(int bit) const {
+    Bitset128 copy = *this;
+    if (Test(bit)) copy.Clear(bit);
+    return !copy.Empty();
+  }
+
+  friend bool operator==(const Bitset128& a, const Bitset128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+}  // namespace orthrus
+
+#endif  // ORTHRUS_COMMON_BITSET128_H_

@@ -1,0 +1,81 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace orthrus {
+
+int Histogram::BucketFor(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int log2 = 63 - __builtin_clzll(value);
+  // Linear interpolation within the power-of-two range using the top bits
+  // below the leading bit.
+  const int sub = static_cast<int>((value >> (log2 - 2)) & (kSubBuckets - 1));
+  int bucket = log2 * kSubBuckets + sub;
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  return bucket;
+}
+
+std::uint64_t Histogram::BucketUpperBound(int bucket) {
+  const int log2 = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  if (log2 == 0) return static_cast<std::uint64_t>(bucket);
+  const std::uint64_t base = 1ull << log2;
+  return base + (base >> 2) * (sub + 1);
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace orthrus

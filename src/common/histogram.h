@@ -1,0 +1,53 @@
+// Log-bucketed latency histogram. Cheap to record into (one increment), and
+// precise enough for the percentile reporting the benchmark harness prints.
+#ifndef ORTHRUS_COMMON_HISTOGRAM_H_
+#define ORTHRUS_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace orthrus {
+
+// Records uint64 samples (typically cycles) into power-of-two buckets with
+// four linear sub-buckets each, giving <= 25% relative error per bucket.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  Histogram() = default;
+
+  void Record(std::uint64_t value);
+
+  // Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Returns the approximate value at quantile q in [0, 1].
+  std::uint64_t Percentile(double q) const;
+
+  // One-line human-readable summary (count/mean/p50/p99/max).
+  std::string Summary() const;
+
+ private:
+  static int BucketFor(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(int bucket);
+
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace orthrus
+
+#endif  // ORTHRUS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+// Common macros and small utilities shared by every module.
+#ifndef ORTHRUS_COMMON_MACROS_H_
+#define ORTHRUS_COMMON_MACROS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace orthrus {
+
+// Cache line size assumed by layout decisions and by the simulator's
+// coherence model.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+#define ORTHRUS_LIKELY(x) __builtin_expect(!!(x), 1)
+#define ORTHRUS_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Fatal invariant check that is active in all build types. Database engines
+// should never run with checks compiled out: a broken invariant corrupts
+// user data silently.
+#define ORTHRUS_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (ORTHRUS_UNLIKELY(!(cond))) {                                         \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                     __LINE__, #cond);                                       \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+#define ORTHRUS_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (ORTHRUS_UNLIKELY(!(cond))) {                                         \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,   \
+                     __LINE__, #cond, msg);                                  \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+// Debug-only check, compiled out in release hot paths.
+#ifndef NDEBUG
+#define ORTHRUS_DCHECK(cond) ORTHRUS_CHECK(cond)
+#else
+#define ORTHRUS_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+// Returns true iff v is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+// Smallest power of two >= v (v must be >= 1).
+constexpr std::uint64_t NextPowerOfTwo(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace orthrus
+
+#endif  // ORTHRUS_COMMON_MACROS_H_

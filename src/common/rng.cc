@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace orthrus {
+
+void Rng::Seed(std::uint64_t seed) {
+  if (seed == 0) seed = 0x9E3779B97F4A7C15ull;
+  // SplitMix64 to spread the seed across both state words.
+  auto mix = [&seed]() {
+    seed += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  s0_ = mix();
+  s1_ = mix();
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  ORTHRUS_CHECK(n >= 1);
+  ORTHRUS_CHECK(theta >= 0.0 && theta < 1.0);
+  zetan_ = Zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = Zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::Zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::Next(Rng* rng) {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t result = static_cast<std::uint64_t>(v);
+  if (result >= n_) result = n_ - 1;
+  return result;
+}
+
+std::uint32_t NuRand(Rng* rng, std::uint32_t a, std::uint32_t x,
+                     std::uint32_t y, std::uint32_t c) {
+  const std::uint32_t r1 = static_cast<std::uint32_t>(rng->NextU64(a + 1));
+  const std::uint32_t r2 =
+      static_cast<std::uint32_t>(rng->NextInRange(x, y));
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+}  // namespace orthrus

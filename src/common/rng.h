@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation used by workload generators
+// and the simulator. We avoid <random> on hot paths: xorshift128+ is a few
+// cycles per draw and its state fits in one cache line.
+#ifndef ORTHRUS_COMMON_RNG_H_
+#define ORTHRUS_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace orthrus {
+
+// xorshift128+ generator. Not cryptographic; plenty for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  // Re-seeds the generator. Two generators with the same seed produce the
+  // same sequence; a zero seed is remapped to a fixed nonzero constant.
+  void Seed(std::uint64_t seed);
+
+  // Uniform draw over the full 64-bit range.
+  std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t NextU64(std::uint64_t bound) {
+    ORTHRUS_DCHECK(bound != 0);
+    // Multiply-shift rejection-free mapping (Lemire). Slight modulo bias is
+    // irrelevant at workload-generation scale but this form avoids division.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    ORTHRUS_DCHECK(lo <= hi);
+    return lo + NextU64(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability pct/100.
+  bool Percent(unsigned pct) { return NextU64(100) < pct; }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+// Zipfian distribution over [0, n) with parameter theta, following the
+// Gray et al. / YCSB formulation. Used by the skewed-workload extensions.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  // Draws a Zipfian-distributed value in [0, n). Lower values are hotter.
+  std::uint64_t Next(Rng* rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+// TPC-C's NURand non-uniform distribution: NURand(A, x, y).
+std::uint32_t NuRand(Rng* rng, std::uint32_t a, std::uint32_t x,
+                     std::uint32_t y, std::uint32_t c);
+
+}  // namespace orthrus
+
+#endif  // ORTHRUS_COMMON_RNG_H_

@@ -1,0 +1,69 @@
+// Per-worker execution statistics and the CPU-time breakdown used by the
+// paper's Figure 10 (Execution / Locking / Waiting).
+#ifndef ORTHRUS_COMMON_STATS_H_
+#define ORTHRUS_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace orthrus {
+
+// What a worker core is spending its cycles on. Matches the categories in
+// the paper's execution-time breakdown (Section 4.4.3).
+enum class TimeCategory : int {
+  kExecution = 0,  // running transaction logic
+  kLocking = 1,    // lock manager work: acquire/release, deadlock handling,
+                   // message construction and queue operations
+  kWaiting = 2,    // blocked on a lock, or idle-polling with no progress
+  kCount = 3,
+};
+
+// Statistics accumulated by one worker core. Plain (non-atomic) fields: each
+// worker owns its own instance and the harness aggregates after Join().
+struct WorkerStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;        // aborts from deadlock handling
+  std::uint64_t ollp_aborts = 0;    // aborts from stale OLLP estimates
+  std::uint64_t deadlocks = 0;      // detected deadlock cycles (graph-based)
+  std::uint64_t lock_waits = 0;     // lock requests that had to wait
+  std::uint64_t messages_sent = 0;  // ORTHRUS message-passing traffic
+  std::uint64_t cycles[static_cast<int>(TimeCategory::kCount)] = {0, 0, 0};
+  Histogram txn_latency;  // commit latency in cycles
+
+  void Add(TimeCategory cat, std::uint64_t c) {
+    cycles[static_cast<int>(cat)] += c;
+  }
+  std::uint64_t Get(TimeCategory cat) const {
+    return cycles[static_cast<int>(cat)];
+  }
+
+  void Merge(const WorkerStats& other);
+};
+
+// Aggregated run result produced by the benchmark harness.
+struct RunResult {
+  WorkerStats total;                // sum over all workers
+  std::vector<WorkerStats> per_worker;
+  double elapsed_seconds = 0;       // virtual (sim) or wall (native) seconds
+  double Throughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(total.committed) /
+                                     elapsed_seconds
+                               : 0.0;
+  }
+  double AbortRate() const {
+    const double attempts =
+        static_cast<double>(total.committed + total.aborted);
+    return attempts > 0 ? static_cast<double>(total.aborted) / attempts : 0.0;
+  }
+  // Fraction of total worker cycles in the given category, in [0,1].
+  double TimeFraction(TimeCategory cat) const;
+
+  std::string Summary() const;
+};
+
+}  // namespace orthrus
+
+#endif  // ORTHRUS_COMMON_STATS_H_

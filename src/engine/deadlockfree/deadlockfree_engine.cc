@@ -1,0 +1,94 @@
+#include "engine/deadlockfree/deadlockfree_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "txn/ollp.h"
+
+namespace orthrus::engine {
+
+RunResult DeadlockFreeEngine::Run(hal::Platform* platform,
+                                  storage::Database* db,
+                                  const workload::Workload& workload) {
+  const int n = options_.num_cores;
+  lock::LockTable::Config lt_config;
+  lt_config.num_buckets = options_.lock_buckets;
+  lt_config.max_lock_heads = options_.max_lock_heads;
+  lt_config.max_workers = n;
+  lock::LockTable lock_table(lt_config);
+
+  std::vector<WorkerStats> stats(n);
+  std::vector<WorkerClock> clocks(n);
+  std::vector<lock::WorkerLockCtx*> ctxs(n);
+  for (int w = 0; w < n; ++w) ctxs[w] = lock_table.RegisterWorker(w, &stats[w]);
+
+  const double cps = platform->CyclesPerSecond();
+  for (int w = 0; w < n; ++w) {
+    platform->Spawn(w, [this, w, db, &workload, &lock_table, &stats, &clocks,
+                        &ctxs, cps]() {
+      WorkerStats& st = stats[w];
+      WorkerClock& clock = clocks[w];
+      lock::WorkerLockCtx* ctx = ctxs[w];
+      std::unique_ptr<workload::TxnSource> source = workload.MakeSource(w);
+      txn::Txn t;
+      clock.Begin(options_.duration_seconds, cps);
+
+      while (!clock.Expired() &&
+             (options_.max_txns_per_worker == 0 ||
+              st.committed < options_.max_txns_per_worker)) {
+        source->Next(&t);
+        txn::OllpPlan(&t, db);
+        t.start_cycles = hal::Now();
+        t.restarts = 0;
+
+        bool committed = false;
+        while (!committed) {
+          // Canonical global order: deadlock freedom by construction.
+          std::sort(t.accesses.begin(), t.accesses.end(),
+                    txn::AccessKeyOrder());
+
+          // Phase 1: acquire everything (FIFO wait, no deadlock handling).
+          hal::Cycles t0 = hal::Now();
+          for (std::size_t i = 0; i < t.accesses.size(); ++i) {
+            const txn::Access& a = t.accesses[i];
+            lock::LockTable::AcquireResult r = lock_table.Acquire(
+                ctx, a.table, a.key, a.mode, /*policy=*/nullptr);
+            if (r == lock::LockTable::AcquireResult::kWaiting) {
+              const bool granted = lock_table.Wait(ctx, /*policy=*/nullptr);
+              ORTHRUS_CHECK_MSG(granted, "FIFO wait cannot abort");
+            }
+          }
+          st.Add(TimeCategory::kLocking, hal::Now() - t0);
+
+          // Phase 2: execute with all locks held.
+          t0 = hal::Now();
+          for (txn::Access& a : t.accesses) ResolveRow(db, &a);
+          txn::ExecContext ec{db, &st, /*charge_cycles=*/true};
+          const bool ok = t.logic->Run(&t, ec);
+          st.Add(TimeCategory::kExecution, hal::Now() - t0);
+
+          if (!ok) {
+            t0 = hal::Now();
+            lock_table.ReleaseAll(ctx);
+            st.Add(TimeCategory::kLocking, hal::Now() - t0);
+            if (!txn::OllpReplanAfterMismatch(&t, db, &st)) break;
+            continue;
+          }
+
+          t0 = hal::Now();
+          lock_table.ReleaseAll(ctx);
+          st.Add(TimeCategory::kLocking, hal::Now() - t0);
+          st.committed++;
+          st.txn_latency.Record(hal::Now() - t.start_cycles);
+          committed = true;
+        }
+      }
+      clock.Finish();
+    });
+  }
+
+  platform->Run();
+  return FinalizeRun(stats, clocks, cps);
+}
+
+}  // namespace orthrus::engine

@@ -1,0 +1,26 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+namespace orthrus::engine {
+
+RunResult FinalizeRun(const std::vector<WorkerStats>& stats,
+                      const std::vector<WorkerClock>& clocks,
+                      double cycles_per_second) {
+  RunResult result;
+  result.per_worker = stats;
+  for (const WorkerStats& s : stats) result.total.Merge(s);
+  hal::Cycles min_start = ~0ull;
+  hal::Cycles max_end = 0;
+  for (const WorkerClock& c : clocks) {
+    min_start = std::min(min_start, c.start);
+    max_end = std::max(max_end, c.end);
+  }
+  if (max_end > min_start) {
+    result.elapsed_seconds =
+        static_cast<double>(max_end - min_start) / cycles_per_second;
+  }
+  return result;
+}
+
+}  // namespace orthrus::engine

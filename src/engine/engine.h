@@ -1,0 +1,90 @@
+// Engine interface: a transaction-processing architecture that runs a
+// workload on a platform and reports throughput plus the CPU-time breakdown
+// of Figure 10. Four implementations reproduce the paper's systems:
+//
+//   TwoPlEngine          — conventional 2PL, dynamic lock acquisition,
+//                          pluggable deadlock handling (Section 4 baseline)
+//   DeadlockFreeEngine   — ordered acquisition over pre-declared read/write
+//                          sets ("Deadlock free locking")
+//   PartitionedEngine    — H-Store-style partition-level locking
+//                          ("Partitioned-store")
+//   OrthrusEngine        — partitioned functionality: dedicated concurrency-
+//                          control cores + execution cores communicating by
+//                          message passing (the paper's contribution)
+#ifndef ORTHRUS_ENGINE_ENGINE_H_
+#define ORTHRUS_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "hal/hal.h"
+#include "storage/database.h"
+#include "txn/txn.h"
+#include "workload/workload.h"
+
+namespace orthrus::engine {
+
+struct EngineOptions {
+  int num_cores = 4;
+
+  // Run length in (virtual or wall) seconds. Workers stop starting new
+  // transactions at the deadline and drain in-flight work.
+  double duration_seconds = 0.005;
+
+  // Optional commit cap per worker (0 = unlimited); used by tests that want
+  // bounded runs independent of timing.
+  std::uint64_t max_txns_per_worker = 0;
+
+  // Lock-table sizing for the shared-everything engines.
+  std::uint64_t lock_buckets = 1 << 16;
+  std::uint64_t max_lock_heads = 1 << 22;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  // Runs the workload. `db` must already be loaded with a partitioning
+  // consistent with this engine's configuration. `platform` must be fresh
+  // (one Run per platform instance).
+  virtual RunResult Run(hal::Platform* platform, storage::Database* db,
+                        const workload::Workload& workload) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Resolves the row pointer for an access, charging the modeled index-probe
+// cost. Routes to the right sub-index when the table is split.
+inline void ResolveRow(storage::Database* db, txn::Access* a) {
+  storage::Table* t = db->GetTable(a->table);
+  const int p =
+      t->num_partitions() > 1 ? db->partitioner().PartOf(a->key) : 0;
+  a->row = t->Lookup(a->key, p);
+  ORTHRUS_CHECK_MSG(a->row != nullptr, "access to missing key");
+}
+
+// Shared helper: per-worker deadline bookkeeping.
+struct WorkerClock {
+  hal::Cycles start = 0;
+  hal::Cycles deadline = 0;
+  hal::Cycles end = 0;
+
+  void Begin(double duration_seconds, double cycles_per_second) {
+    start = hal::Now();
+    deadline = start + static_cast<hal::Cycles>(duration_seconds *
+                                                cycles_per_second);
+  }
+  bool Expired() const { return hal::Now() >= deadline; }
+  void Finish() { end = hal::Now(); }
+};
+
+// Aggregates per-worker stats and computes elapsed time as the span from
+// the earliest worker start to the latest worker end.
+RunResult FinalizeRun(const std::vector<WorkerStats>& stats,
+                      const std::vector<WorkerClock>& clocks,
+                      double cycles_per_second);
+
+}  // namespace orthrus::engine
+
+#endif  // ORTHRUS_ENGINE_ENGINE_H_

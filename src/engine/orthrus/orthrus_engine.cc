@@ -1,0 +1,967 @@
+#include "engine/orthrus/orthrus_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "mp/spsc_queue.h"
+#include "txn/ollp.h"
+
+namespace orthrus::engine {
+namespace {
+
+using txn::Access;
+using txn::Conflicts;
+using txn::LockMode;
+using txn::Txn;
+
+constexpr int kMaxAccesses = 40;   // TPC-C NewOrder peaks at ~18
+constexpr int kMaxStages = kMaxAccesses;
+
+// ------------------------------------------------------------- messages
+
+// A message is a pointer to a transaction control block with a small tag in
+// the low (alignment) bits.
+enum MsgTag : std::uint64_t {
+  kAcquire = 0,    // exec->CC or CC->CC: acquire locks for tcb's cur_stage
+  kRelease = 1,    // exec->CC: release this CC's locks of tcb
+  kGrant = 2,      // CC->exec: all stages granted, execute
+  kStageDone = 3,  // CC->exec (non-forwarding mode): one stage granted
+  kAck = 4,        // CC->exec: release processed
+  kTagMask = 7,
+};
+
+struct Tcb;
+
+std::uint64_t Encode(Tcb* tcb, MsgTag tag) {
+  const std::uint64_t p = reinterpret_cast<std::uint64_t>(tcb);
+  ORTHRUS_DCHECK((p & kTagMask) == 0);
+  return p | tag;
+}
+
+Tcb* DecodeTcb(std::uint64_t w) {
+  return reinterpret_cast<Tcb*>(w & ~static_cast<std::uint64_t>(kTagMask));
+}
+
+MsgTag DecodeTag(std::uint64_t w) { return static_cast<MsgTag>(w & kTagMask); }
+
+struct Tcb;
+struct ScLock;
+struct CcRequest;
+
+// Lock state for one key in a CC thread's *local* (partitioned-mode) table.
+// Plain memory: a single CC thread owns it — exactly how ORTHRUS eliminates
+// synchronization and data-movement overhead on lock meta-data (S 3.1).
+struct CcLock {
+  std::uint64_t key = 0;
+  std::uint32_t table = 0;
+  bool used = false;
+  CcRequest* head = nullptr;
+  CcRequest* tail = nullptr;
+  // O(1) grant checks / single-pass grant sweeps (see lock::LockHead).
+  std::uint32_t queued_total = 0;
+  std::uint32_t queued_x = 0;
+};
+
+struct CcRequest {
+  Tcb* tcb = nullptr;
+  CcLock* lock = nullptr;     // partitioned-mode owner lock
+  ScLock* sc_lock = nullptr;  // shared-mode owner lock (Section 3.4)
+  CcRequest* next = nullptr;
+  CcRequest* prev = nullptr;
+  std::uint16_t access_idx = 0;
+  LockMode mode = LockMode::kShared;
+  bool granted = false;
+};
+
+// One lock-acquisition stage: the contiguous range of the (sorted) access
+// array owned by one CC thread.
+struct Stage {
+  std::int32_t cc = -1;
+  std::uint16_t begin = 0;
+  std::uint16_t end = 0;
+};
+
+// Transaction control block. Owned by one execution thread's slot; while a
+// kAcquire message is in flight the fields below `cur_stage` are logically
+// owned by the CC thread holding the message (ownership travels with the
+// message, so no field is ever written concurrently).
+struct alignas(64) Tcb {
+  Txn txn;
+  int exec_id = -1;
+  int slot = -1;
+  int n_stages = 0;
+  int cur_stage = 0;  // stage being (or about to be) processed
+  std::array<Stage, kMaxStages> stages;
+
+  // CC-side bookkeeping for the stage in progress.
+  std::uint32_t pending = 0;  // ungranted locks at the current CC
+  std::array<CcRequest*, kMaxAccesses> reqs{};
+
+  // Exec-side bookkeeping.
+  int pending_acks = 0;
+  bool replan_pending = false;
+  bool counted_commit = false;
+
+  // Shared-CC mode (Section 3.4): index of the next lock to acquire in
+  // global key order, the CC thread handling this transaction, and inline
+  // request nodes (all of a transaction's requests live in its TCB, so no
+  // cross-thread allocator is needed).
+  int next_acq = 0;
+  int home_cc = -1;
+  std::array<CcRequest, kMaxAccesses> inline_reqs{};
+};
+
+// ------------------------------------------- CC-thread-local lock table
+
+// Open-addressing pointer table over pool-allocated CcLock objects. Lock
+// objects have stable addresses (queued requests point at them), so growth
+// only rehashes the pointer array. Single-threaded; no synchronization.
+class CcLockTable {
+ public:
+  explicit CcLockTable(std::size_t initial_slots = 1 << 14)
+      : slots_(NextPowerOfTwo(initial_slots), nullptr) {}
+
+  ~CcLockTable() {
+    for (CcRequest* r : req_blocks_) delete[] r;
+    for (CcLock* l : lock_blocks_) delete[] l;
+  }
+
+  CcLock* FindOrCreate(std::uint32_t table, std::uint64_t key) {
+    if ((used_ + 1) * 3 > slots_.size() * 2) Grow();
+    std::size_t pos = Hash(table, key) & (slots_.size() - 1);
+    while (slots_[pos] != nullptr) {
+      if (slots_[pos]->key == key && slots_[pos]->table == table) {
+        return slots_[pos];
+      }
+      pos = (pos + 1) & (slots_.size() - 1);
+    }
+    CcLock* l = AllocLock();
+    l->key = key;
+    l->table = table;
+    l->head = l->tail = nullptr;
+    slots_[pos] = l;
+    used_++;
+    return l;
+  }
+
+  CcRequest* AllocRequest() {
+    if (free_ == nullptr) NewRequestBlock();
+    CcRequest* r = free_;
+    free_ = r->next;
+    r->next = r->prev = nullptr;
+    r->granted = false;
+    return r;
+  }
+
+  void FreeRequest(CcRequest* r) {
+    r->tcb = nullptr;
+    r->lock = nullptr;
+    r->prev = nullptr;
+    r->next = free_;
+    free_ = r;
+  }
+
+  std::size_t used() const { return used_; }
+
+ private:
+  static std::size_t Hash(std::uint32_t table, std::uint64_t key) {
+    std::uint64_t h = (key ^ (static_cast<std::uint64_t>(table) << 56)) *
+                      0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+
+  void Grow() {
+    std::vector<CcLock*> bigger(slots_.size() * 2, nullptr);
+    const std::size_t mask = bigger.size() - 1;
+    for (CcLock* l : slots_) {
+      if (l == nullptr) continue;
+      std::size_t pos = Hash(l->table, l->key) & mask;
+      while (bigger[pos] != nullptr) pos = (pos + 1) & mask;
+      bigger[pos] = l;
+    }
+    slots_ = std::move(bigger);
+  }
+
+  CcLock* AllocLock() {
+    constexpr int kBlock = 4096;
+    if (next_lock_ == locks_in_block_) {
+      lock_blocks_.push_back(new CcLock[kBlock]);
+      next_lock_ = 0;
+      locks_in_block_ = kBlock;
+    }
+    return &lock_blocks_.back()[next_lock_++];
+  }
+
+  void NewRequestBlock() {
+    constexpr int kBlock = 1024;
+    CcRequest* block = new CcRequest[kBlock];
+    req_blocks_.push_back(block);
+    for (int i = 0; i < kBlock; ++i) {
+      block[i].next = free_;
+      free_ = &block[i];
+    }
+  }
+
+  std::vector<CcLock*> slots_;
+  std::size_t used_ = 0;
+  CcRequest* free_ = nullptr;
+  std::vector<CcRequest*> req_blocks_;
+  std::vector<CcLock*> lock_blocks_;
+  int next_lock_ = 0;
+  int locks_in_block_ = 0;
+};
+
+// -------------------------------------- shared CC lock table (Section 3.4)
+
+// One latched lock table shared by all CC threads: the paper's alternative
+// to partitioning the lock space. A transaction's home CC thread acquires
+// its locks one at a time in global key order (deadlock freedom by ordered
+// acquisition); when a lock is busy the transaction parks in that lock's
+// FIFO queue, and whichever CC thread later grants the lock continues the
+// acquisition. Bucket latches are contended only by CC threads.
+struct ScLock {
+  std::uint32_t table = 0;
+  std::uint64_t key = 0;
+  CcRequest* head = nullptr;
+  CcRequest* tail = nullptr;
+  ScLock* next_in_bucket = nullptr;
+  std::uint32_t queued_total = 0;
+  std::uint32_t queued_x = 0;
+};
+
+class SharedCcTable {
+ public:
+  SharedCcTable(int n_cc, hal::Cycles op_cycles,
+                std::size_t n_buckets = 1 << 14,
+                std::size_t heads_per_cc = 1 << 18)
+      : op_cycles_(op_cycles),
+        mask_(NextPowerOfTwo(n_buckets) - 1),
+        buckets_(std::make_unique<Bucket[]>(mask_ + 1)),
+        head_pool_(static_cast<std::size_t>(n_cc) * heads_per_cc),
+        shard_next_(n_cc),
+        shard_end_(n_cc) {
+    for (int c = 0; c < n_cc; ++c) {
+      shard_next_[c] = c * heads_per_cc;
+      shard_end_[c] = (c + 1) * heads_per_cc;
+    }
+  }
+
+  // Continues tcb's ordered acquisition from tcb->next_acq. Returns true
+  // once every lock is granted. Must be called by a CC core.
+  bool ContinueAcquire(Tcb* tcb) {
+    Txn& t = tcb->txn;
+    while (tcb->next_acq < static_cast<int>(t.accesses.size())) {
+      const Access& a = t.accesses[tcb->next_acq];
+      Bucket* b = &buckets_[Hash(a.table, a.key) & mask_];
+      b->latch.Lock();
+      hal::ConsumeCycles(op_cycles_);
+      ScLock* lock = FindOrCreate(b, a.table, a.key);
+      CcRequest* r = &tcb->inline_reqs[tcb->next_acq];
+      r->tcb = tcb;
+      r->access_idx = static_cast<std::uint16_t>(tcb->next_acq);
+      r->mode = a.mode;
+      r->next = nullptr;
+      r->prev = lock->tail;
+      r->sc_lock = lock;
+      const bool grantable = a.mode == LockMode::kExclusive
+                                 ? lock->queued_total == 0
+                                 : lock->queued_x == 0;
+      if (lock->tail != nullptr) {
+        lock->tail->next = r;
+      } else {
+        lock->head = r;
+      }
+      lock->tail = r;
+      lock->queued_total++;
+      if (a.mode == LockMode::kExclusive) lock->queued_x++;
+      r->granted = grantable;
+      b->latch.Unlock();
+      if (!r->granted) return false;  // parked; a granter will continue us
+      tcb->next_acq++;
+    }
+    return true;
+  }
+
+  // Releases every lock tcb holds (indexes [0, next_acq)), collecting the
+  // transactions whose parked request became granted; the caller continues
+  // them outside the latches.
+  void ReleaseAll(Tcb* tcb, std::vector<Tcb*>* runnable) {
+    for (int i = 0; i < tcb->next_acq; ++i) {
+      CcRequest* r = &tcb->inline_reqs[i];
+      ScLock* lock = r->sc_lock;
+      Bucket* b = &buckets_[Hash(lock->table, lock->key) & mask_];
+      b->latch.Lock();
+      hal::ConsumeCycles(op_cycles_);
+      Unlink(lock, r);
+      bool x_seen = false;
+      for (CcRequest* f = lock->head; f != nullptr; f = f->next) {
+        if (!f->granted) {
+          const bool grantable = f->mode == LockMode::kExclusive
+                                     ? f == lock->head
+                                     : !x_seen;
+          if (!grantable) break;
+          f->granted = true;
+          f->tcb->next_acq++;  // the lock it was parked on
+          runnable->push_back(f->tcb);
+        }
+        if (f->mode == LockMode::kExclusive) x_seen = true;
+      }
+      b->latch.Unlock();
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Bucket {
+    hal::SpinLock latch;
+    ScLock* chain = nullptr;
+  };
+
+  static std::size_t Hash(std::uint32_t table, std::uint64_t key) {
+    std::uint64_t h = (key ^ (static_cast<std::uint64_t>(table) << 56)) *
+                      0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+
+  ScLock* FindOrCreate(Bucket* b, std::uint32_t table, std::uint64_t key) {
+    for (ScLock* l = b->chain; l != nullptr; l = l->next_in_bucket) {
+      if (l->key == key && l->table == table) return l;
+    }
+    const int me = hal::CoreId();
+    ORTHRUS_CHECK_MSG(shard_next_[me] < shard_end_[me],
+                      "shared-CC lock-head shard exhausted");
+    ScLock* l = &head_pool_[shard_next_[me]++];
+    l->table = table;
+    l->key = key;
+    l->head = l->tail = nullptr;
+    l->queued_total = 0;
+    l->queued_x = 0;
+    l->next_in_bucket = b->chain;
+    b->chain = l;
+    return l;
+  }
+
+  static void Unlink(ScLock* lock, CcRequest* r) {
+    ORTHRUS_DCHECK(lock->queued_total > 0);
+    lock->queued_total--;
+    if (r->mode == LockMode::kExclusive) lock->queued_x--;
+    if (r->prev != nullptr) {
+      r->prev->next = r->next;
+    } else {
+      lock->head = r->next;
+    }
+    if (r->next != nullptr) {
+      r->next->prev = r->prev;
+    } else {
+      lock->tail = r->prev;
+    }
+    r->prev = r->next = nullptr;
+  }
+
+  hal::Cycles op_cycles_;
+  std::size_t mask_;
+  std::unique_ptr<Bucket[]> buckets_;
+  std::vector<ScLock> head_pool_;
+  std::vector<std::size_t> shard_next_;
+  std::vector<std::size_t> shard_end_;
+};
+
+// --------------------------------------------------------- shared state
+
+using Queue = mp::SpscQueue<std::uint64_t>;
+
+struct Shared {
+  int n_cc = 0;
+  int n_exec = 0;
+  bool forwarding = true;
+  hal::Cycles cc_op_cycles = 20;
+
+  // Queue matrices, indexed [sender][receiver].
+  std::vector<std::unique_ptr<Queue>> exec_to_cc;  // [exec][cc] acquire+release
+  std::vector<std::unique_ptr<Queue>> cc_to_cc;    // [cc][cc]   forward
+  std::vector<std::unique_ptr<Queue>> cc_to_exec;  // [cc][exec] grant/ack
+
+  hal::Atomic<std::uint64_t> execs_done{0};
+  hal::Atomic<std::uint64_t> inflight_global{0};
+
+  // Section 3.4 mode: non-null when CC threads share one latched table.
+  std::unique_ptr<SharedCcTable> shared_cc;
+
+  Queue* AcquireQueue(int exec, int cc) {
+    return exec_to_cc[static_cast<std::size_t>(exec) * n_cc + cc].get();
+  }
+  Queue* ForwardQueue(int from_cc, int to_cc) {
+    return cc_to_cc[static_cast<std::size_t>(from_cc) * n_cc + to_cc].get();
+  }
+  Queue* GrantQueue(int cc, int exec) {
+    return cc_to_exec[static_cast<std::size_t>(cc) * n_exec + exec].get();
+  }
+};
+
+void SendBlocking(Queue* q, std::uint64_t word) {
+  std::uint64_t spins = 0;
+  while (!q->TryEnqueue(word)) {
+    hal::CpuRelax();
+    ORTHRUS_CHECK_MSG(++spins < (1ull << 26),
+                      "message queue wedged: capacity bound violated");
+  }
+}
+
+// ------------------------------------------------------------ CC thread
+
+class CcThread {
+ public:
+  CcThread(int cc_id, Shared* shared, WorkerStats* stats,
+           std::size_t lock_slots)
+      : cc_id_(cc_id), shared_(shared), stats_(stats), locks_(lock_slots) {}
+
+  void Main() {
+    // Polling cached-empty queues costs L1 hits; a small cap keeps grant
+    // latency low while still bounding event rates when truly idle.
+    hal::IdleBackoff idle(128);
+    while (true) {
+      // Read the termination predicate *before* draining: if it was true
+      // before a drain that found nothing, no message can arrive later.
+      const bool maybe_done =
+          shared_->execs_done.load() == static_cast<std::uint64_t>(
+                                            shared_->n_exec) &&
+          shared_->inflight_global.load() == 0;
+      const bool progress = DrainOnce();
+      if (progress) {
+        idle.Reset();
+        continue;
+      }
+      if (maybe_done) {
+        ORTHRUS_CHECK_MSG(held_ == 0, "CC exiting with locks held");
+        break;
+      }
+      const hal::Cycles t0 = hal::Now();
+      idle.Idle();
+      stats_->Add(TimeCategory::kWaiting, hal::Now() - t0);
+    }
+  }
+
+ private:
+  bool DrainOnce() {
+    bool progress = false;
+    for (int e = 0; e < shared_->n_exec; ++e) {
+      std::uint64_t w;
+      while (shared_->AcquireQueue(e, cc_id_)->TryDequeue(&w)) {
+        Handle(w);
+        progress = true;
+      }
+    }
+    if (shared_->forwarding) {
+      for (int c = 0; c < shared_->n_cc; ++c) {
+        std::uint64_t w;
+        while (shared_->ForwardQueue(c, cc_id_)->TryDequeue(&w)) {
+          Handle(w);
+          progress = true;
+        }
+      }
+    }
+    return progress;
+  }
+
+  void Handle(std::uint64_t word) {
+    const hal::Cycles t0 = hal::Now();
+    Tcb* tcb = DecodeTcb(word);
+    switch (DecodeTag(word)) {
+      case kAcquire:
+        ProcessAcquire(tcb);
+        break;
+      case kRelease:
+        ProcessRelease(tcb);
+        break;
+      default:
+        ORTHRUS_CHECK_MSG(false, "unexpected message at CC thread");
+    }
+    stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+  }
+
+  void ProcessAcquire(Tcb* tcb) {
+    if (shared_->shared_cc != nullptr) {
+      if (shared_->shared_cc->ContinueAcquire(tcb)) SendGrant(tcb);
+      return;
+    }
+    const Stage& stage = tcb->stages[tcb->cur_stage];
+    ORTHRUS_DCHECK(stage.cc == cc_id_);
+    std::uint32_t pending = 0;
+    for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
+      const Access& a = tcb->txn.accesses[i];
+      hal::ConsumeCycles(shared_->cc_op_cycles);
+      CcLock* lock = locks_.FindOrCreate(a.table, a.key);
+      CcRequest* r = locks_.AllocRequest();
+      r->tcb = tcb;
+      r->lock = lock;
+      r->access_idx = i;
+      r->mode = a.mode;
+      // FIFO enqueue; counters make the grant check O(1).
+      const bool grantable = a.mode == LockMode::kExclusive
+                                 ? lock->queued_total == 0
+                                 : lock->queued_x == 0;
+      r->prev = lock->tail;
+      if (lock->tail != nullptr) {
+        lock->tail->next = r;
+      } else {
+        lock->head = r;
+      }
+      lock->tail = r;
+      lock->queued_total++;
+      if (a.mode == LockMode::kExclusive) lock->queued_x++;
+      r->granted = grantable;
+      if (!r->granted) {
+        pending++;
+        stats_->lock_waits++;
+      }
+      tcb->reqs[i] = r;
+      held_++;
+    }
+    if (pending == 0) {
+      Advance(tcb);
+    } else {
+      tcb->pending = pending;
+    }
+  }
+
+  void ProcessRelease(Tcb* tcb) {
+    if (shared_->shared_cc != nullptr) {
+      runnable_.clear();
+      shared_->shared_cc->ReleaseAll(tcb, &runnable_);
+      SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
+                   Encode(tcb, kAck));
+      stats_->messages_sent++;
+      // Continue the transactions our release unblocked; any that complete
+      // their lock set are handed to their execution threads.
+      for (Tcb* t : runnable_) {
+        if (shared_->shared_cc->ContinueAcquire(t)) SendGrant(t);
+      }
+      return;
+    }
+    // Find our stage (stage lists are tiny).
+    for (int s = 0; s < tcb->n_stages; ++s) {
+      const Stage& stage = tcb->stages[s];
+      if (stage.cc != cc_id_) continue;
+      for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
+        hal::ConsumeCycles(shared_->cc_op_cycles);
+        CcRequest* r = tcb->reqs[i];
+        ORTHRUS_DCHECK(r != nullptr && r->lock != nullptr);
+        Unlink(r);
+        GrantFollowers(r->lock);
+        locks_.FreeRequest(r);
+        tcb->reqs[i] = nullptr;
+        held_--;
+      }
+      break;
+    }
+    // Release requests are satisfied and acknowledged immediately
+    // (Section 3.1).
+    SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
+                 Encode(tcb, kAck));
+    stats_->messages_sent++;
+  }
+
+  [[maybe_unused]] static bool NoConflictAhead(const CcRequest* r) {
+    for (const CcRequest* p = r->prev; p != nullptr; p = p->prev) {
+      if (Conflicts(r->mode, p->mode)) return false;
+    }
+    return true;
+  }
+
+  static void Unlink(CcRequest* r) {
+    CcLock* lock = r->lock;
+    ORTHRUS_DCHECK(lock->queued_total > 0);
+    lock->queued_total--;
+    if (r->mode == LockMode::kExclusive) lock->queued_x--;
+    if (r->prev != nullptr) {
+      r->prev->next = r->next;
+    } else {
+      lock->head = r->next;
+    }
+    if (r->next != nullptr) {
+      r->next->prev = r->prev;
+    } else {
+      lock->tail = r->prev;
+    }
+    r->prev = r->next = nullptr;
+  }
+
+  void GrantFollowers(CcLock* lock) {
+    bool x_seen = false;
+    for (CcRequest* r = lock->head; r != nullptr; r = r->next) {
+      if (!r->granted) {
+        const bool grantable = r->mode == LockMode::kExclusive
+                                   ? r == lock->head
+                                   : !x_seen;
+        if (!grantable) break;
+        r->granted = true;
+        Tcb* t = r->tcb;
+        ORTHRUS_DCHECK(t->pending > 0);
+        if (--t->pending == 0) Advance(t);
+      }
+      if (r->mode == LockMode::kExclusive) x_seen = true;
+    }
+  }
+
+  void SendGrant(Tcb* tcb) {
+    SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
+                 Encode(tcb, kGrant));
+    stats_->messages_sent++;
+  }
+
+  // All locks of tcb's current stage are granted: forward along the chain
+  // (Section 3.3) or hand back to the execution thread.
+  void Advance(Tcb* tcb) {
+    const int next = tcb->cur_stage + 1;
+    if (next < tcb->n_stages) {
+      if (shared_->forwarding) {
+        tcb->cur_stage = next;
+        SendBlocking(shared_->ForwardQueue(cc_id_, tcb->stages[next].cc),
+                     Encode(tcb, kAcquire));
+      } else {
+        // Ablation mode: the execution thread mediates every hop, paying
+        // two message delays per CC thread (2*Ncc total).
+        SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
+                     Encode(tcb, kStageDone));
+      }
+    } else {
+      SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
+                   Encode(tcb, kGrant));
+    }
+    stats_->messages_sent++;
+  }
+
+  int cc_id_;
+  Shared* shared_;
+  WorkerStats* stats_;
+  CcLockTable locks_;
+  std::uint64_t held_ = 0;
+  std::vector<Tcb*> runnable_;  // scratch for shared-mode release grants
+};
+
+// ----------------------------------------------------------- exec thread
+
+class ExecThread {
+ public:
+  ExecThread(int exec_id, Shared* shared, storage::Database* db,
+             const workload::Workload& workload, WorkerStats* stats,
+             WorkerClock* clock, const EngineOptions& options,
+             int max_inflight)
+      : exec_id_(exec_id),
+        shared_(shared),
+        db_(db),
+        stats_(stats),
+        clock_(clock),
+        options_(options),
+        max_inflight_(max_inflight) {
+    source_ = workload.MakeSource(shared->n_cc + exec_id);
+    tcbs_.resize(max_inflight);
+    for (int i = 0; i < max_inflight; ++i) {
+      tcbs_[i] = std::make_unique<Tcb>();
+      tcbs_[i]->exec_id = exec_id_;
+      tcbs_[i]->slot = i;
+      free_slots_.push_back(i);
+    }
+  }
+
+  void Main(double cps) {
+    clock_->Begin(options_.duration_seconds, cps);
+    hal::IdleBackoff idle(256);
+    while (true) {
+      bool progress = PollGrants();
+      progress |= IssueNew();
+      if (progress) {
+        idle.Reset();
+        continue;
+      }
+      if (Stopping() && inflight_ == 0) break;
+      const hal::Cycles t0 = hal::Now();
+      idle.Idle();
+      stats_->Add(TimeCategory::kWaiting, hal::Now() - t0);
+    }
+    shared_->execs_done.fetch_add(1);
+    clock_->Finish();
+  }
+
+ private:
+  bool Stopping() const {
+    return clock_->Expired() ||
+           (options_.max_txns_per_worker != 0 &&
+            stats_->committed >= options_.max_txns_per_worker);
+  }
+
+  bool PollGrants() {
+    bool progress = false;
+    std::uint64_t w;
+    for (int c = 0; c < shared_->n_cc; ++c) {
+      while (shared_->GrantQueue(c, exec_id_)->TryDequeue(&w)) {
+        progress = true;
+        Tcb* tcb = DecodeTcb(w);
+        switch (DecodeTag(w)) {
+          case kGrant:
+            Execute(tcb);
+            break;
+          case kStageDone:
+            // Non-forwarding mode: we mediate the next hop ourselves.
+            tcb->cur_stage++;
+            ORTHRUS_DCHECK(tcb->cur_stage < tcb->n_stages);
+            SendAcquire(tcb, tcb->stages[tcb->cur_stage].cc);
+            break;
+          case kAck:
+            OnAck(tcb);
+            break;
+          default:
+            ORTHRUS_CHECK_MSG(false, "unexpected message at exec thread");
+        }
+      }
+    }
+    return progress;
+  }
+
+  bool IssueNew() {
+    bool issued = false;
+    while (!free_slots_.empty() && !Stopping()) {
+      const int slot = free_slots_.back();
+      free_slots_.pop_back();
+      Tcb* tcb = tcbs_[slot].get();
+      const hal::Cycles t0 = hal::Now();
+      source_->Next(&tcb->txn);
+      txn::OllpPlan(&tcb->txn, db_);  // may do reconnaissance reads
+      stats_->Add(TimeCategory::kExecution, hal::Now() - t0);
+      tcb->txn.start_cycles = hal::Now();
+      tcb->txn.restarts = 0;
+      tcb->replan_pending = false;
+      tcb->counted_commit = false;
+      Dispatch(tcb);
+      issued = true;
+    }
+    return issued;
+  }
+
+  // Sorts accesses into CC-thread order and starts the acquisition chain.
+  // In shared-CC mode the sort is the global key order and a single home CC
+  // thread (round robin) handles the whole transaction.
+  void Dispatch(Tcb* tcb) {
+    const hal::Cycles t0 = hal::Now();
+    Txn& t = tcb->txn;
+    ORTHRUS_CHECK(t.accesses.size() <= kMaxAccesses);
+    if (shared_->shared_cc != nullptr) {
+      std::sort(t.accesses.begin(), t.accesses.end(), txn::AccessKeyOrder());
+      tcb->next_acq = 0;
+      tcb->home_cc = static_cast<int>(rr_counter_++ %
+                                      static_cast<std::uint64_t>(shared_->n_cc));
+      inflight_++;
+      shared_->inflight_global.fetch_add(1);
+      SendAcquire(tcb, tcb->home_cc);
+      stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+      return;
+    }
+    const storage::Partitioner& part = db_->partitioner();
+    std::sort(t.accesses.begin(), t.accesses.end(),
+              [&part](const Access& a, const Access& b) {
+                const int pa = part.PartOf(a.key);
+                const int pb = part.PartOf(b.key);
+                if (pa != pb) return pa < pb;
+                if (a.table != b.table) return a.table < b.table;
+                return a.key < b.key;
+              });
+    tcb->n_stages = 0;
+    for (std::size_t i = 0; i < t.accesses.size(); ++i) {
+      const int cc = part.PartOf(t.accesses[i].key);
+      if (tcb->n_stages == 0 || tcb->stages[tcb->n_stages - 1].cc != cc) {
+        ORTHRUS_CHECK(tcb->n_stages < kMaxStages);
+        Stage& s = tcb->stages[tcb->n_stages++];
+        s.cc = cc;
+        s.begin = static_cast<std::uint16_t>(i);
+        s.end = static_cast<std::uint16_t>(i + 1);
+      } else {
+        tcb->stages[tcb->n_stages - 1].end =
+            static_cast<std::uint16_t>(i + 1);
+      }
+    }
+    ORTHRUS_CHECK(tcb->n_stages > 0);
+    tcb->cur_stage = 0;
+    inflight_++;
+    shared_->inflight_global.fetch_add(1);
+    SendAcquire(tcb, tcb->stages[0].cc);
+    stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+  }
+
+  void SendAcquire(Tcb* tcb, int cc) {
+    SendBlocking(shared_->AcquireQueue(exec_id_, cc), Encode(tcb, kAcquire));
+    stats_->messages_sent++;
+  }
+
+  // All locks granted: run the procedure, then release everything.
+  void Execute(Tcb* tcb) {
+    hal::Cycles t0 = hal::Now();
+    Txn& t = tcb->txn;
+    for (Access& a : t.accesses) ResolveRow(db_, &a);
+    txn::ExecContext ec{db_, stats_, /*charge_cycles=*/true};
+    const bool ok = t.logic->Run(&t, ec);
+    stats_->Add(TimeCategory::kExecution, hal::Now() - t0);
+
+    if (ok) {
+      stats_->committed++;
+      stats_->txn_latency.Record(hal::Now() - t.start_cycles);
+      tcb->counted_commit = true;
+    } else {
+      tcb->replan_pending = true;  // stale OLLP estimate: re-plan after acks
+    }
+
+    t0 = hal::Now();
+    if (shared_->shared_cc != nullptr) {
+      tcb->pending_acks = 1;
+      SendBlocking(shared_->AcquireQueue(exec_id_, tcb->home_cc),
+                   Encode(tcb, kRelease));
+      stats_->messages_sent++;
+    } else {
+      tcb->pending_acks = tcb->n_stages;
+      for (int s = 0; s < tcb->n_stages; ++s) {
+        SendBlocking(shared_->AcquireQueue(exec_id_, tcb->stages[s].cc),
+                     Encode(tcb, kRelease));
+        stats_->messages_sent++;
+      }
+    }
+    stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+  }
+
+  void OnAck(Tcb* tcb) {
+    ORTHRUS_DCHECK(tcb->pending_acks > 0);
+    if (--tcb->pending_acks > 0) return;
+    if (tcb->replan_pending) {
+      tcb->replan_pending = false;
+      if (txn::OllpReplanAfterMismatch(&tcb->txn, db_, stats_)) {
+        // Re-dispatch the same transaction with the fresh estimate. The
+        // slot stays occupied; inflight counters already include it.
+        inflight_--;
+        shared_->inflight_global.fetch_add(
+            static_cast<std::uint64_t>(-1));
+        Dispatch(tcb);
+        return;
+      }
+    }
+    inflight_--;
+    shared_->inflight_global.fetch_add(static_cast<std::uint64_t>(-1));
+    free_slots_.push_back(tcb->slot);
+  }
+
+  int exec_id_;
+  Shared* shared_;
+  storage::Database* db_;
+  WorkerStats* stats_;
+  WorkerClock* clock_;
+  EngineOptions options_;
+  int max_inflight_;
+  std::unique_ptr<workload::TxnSource> source_;
+  std::vector<std::unique_ptr<Tcb>> tcbs_;
+  std::vector<int> free_slots_;
+  int inflight_ = 0;
+  std::uint64_t rr_counter_ = 0;  // shared-CC home assignment
+};
+
+}  // namespace
+
+OrthrusEngine::OrthrusEngine(EngineOptions options, OrthrusOptions orthrus)
+    : options_(options), orthrus_(orthrus) {
+  ORTHRUS_CHECK(orthrus_.num_cc >= 1);
+  ORTHRUS_CHECK(options_.num_cores > orthrus_.num_cc);
+  ORTHRUS_CHECK(orthrus_.max_inflight >= 1);
+}
+
+std::string OrthrusEngine::name() const {
+  std::string n = orthrus_.split_index ? "split-orthrus" : "orthrus";
+  if (!orthrus_.forwarding) n += "-nofwd";
+  if (orthrus_.shared_cc_table) n += "-sharedcc";
+  return n;
+}
+
+RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
+                             const workload::Workload& workload) {
+  const int n_cc = orthrus_.num_cc;
+  const int n_exec = options_.num_cores - n_cc;
+  if (!orthrus_.shared_cc_table) {
+    ORTHRUS_CHECK_MSG(db->partitioner().n == n_cc,
+                      "ORTHRUS needs the database partitioner configured "
+                      "with one partition per CC thread");
+  }
+
+  Shared shared;
+  shared.n_cc = n_cc;
+  shared.n_exec = n_exec;
+  shared.forwarding = orthrus_.forwarding;
+  shared.cc_op_cycles = orthrus_.cc_op_cycles;
+  if (orthrus_.shared_cc_table) {
+    shared.shared_cc =
+        std::make_unique<SharedCcTable>(n_cc, orthrus_.cc_op_cycles);
+  }
+
+  // Queue capacities: provable upper bounds on outstanding messages per
+  // pair, doubled for slack (SendBlocking CHECK-fails if these are wrong).
+  const std::size_t inflight = static_cast<std::size_t>(orthrus_.max_inflight);
+  const std::size_t aq_cap = NextPowerOfTwo(2 * inflight + 4);
+  const std::size_t fq_cap =
+      NextPowerOfTwo(2 * inflight * static_cast<std::size_t>(n_exec) + 4);
+  const std::size_t gq_cap = NextPowerOfTwo(2 * inflight + 4);
+  for (int e = 0; e < n_exec; ++e) {
+    for (int c = 0; c < n_cc; ++c) {
+      shared.exec_to_cc.push_back(std::make_unique<Queue>(aq_cap));
+    }
+  }
+  for (int c1 = 0; c1 < n_cc; ++c1) {
+    for (int c2 = 0; c2 < n_cc; ++c2) {
+      shared.cc_to_cc.push_back(std::make_unique<Queue>(fq_cap));
+    }
+  }
+  for (int c = 0; c < n_cc; ++c) {
+    for (int e = 0; e < n_exec; ++e) {
+      shared.cc_to_exec.push_back(std::make_unique<Queue>(gq_cap));
+    }
+  }
+
+  std::vector<WorkerStats> stats(options_.num_cores);
+  std::vector<WorkerClock> clocks(options_.num_cores);
+  const double cps = platform->CyclesPerSecond();
+
+  // CC lock tables start small and grow (address-stable) as each partition's
+  // key footprint materializes.
+  const std::size_t cc_lock_slots = 1 << 14;
+
+  std::vector<std::unique_ptr<CcThread>> cc_threads;
+  std::vector<std::unique_ptr<ExecThread>> exec_threads;
+  for (int c = 0; c < n_cc; ++c) {
+    cc_threads.push_back(
+        std::make_unique<CcThread>(c, &shared, &stats[c], cc_lock_slots));
+  }
+  for (int e = 0; e < n_exec; ++e) {
+    exec_threads.push_back(std::make_unique<ExecThread>(
+        e, &shared, db, workload, &stats[n_cc + e], &clocks[n_cc + e],
+        options_, orthrus_.max_inflight));
+  }
+
+  for (int c = 0; c < n_cc; ++c) {
+    CcThread* t = cc_threads[c].get();
+    WorkerClock* clock = &clocks[c];
+    platform->Spawn(c, [t, clock, this, cps]() {
+      clock->Begin(options_.duration_seconds, cps);
+      t->Main();
+      clock->Finish();
+    });
+  }
+  for (int e = 0; e < n_exec; ++e) {
+    ExecThread* t = exec_threads[e].get();
+    platform->Spawn(n_cc + e, [t, cps]() { t->Main(cps); });
+  }
+
+  platform->Run();
+
+  // Consistency: every queue fully drained.
+  for (auto& q : shared.exec_to_cc) ORTHRUS_CHECK(q->SizeRaw() == 0);
+  for (auto& q : shared.cc_to_cc) ORTHRUS_CHECK(q->SizeRaw() == 0);
+  for (auto& q : shared.cc_to_exec) ORTHRUS_CHECK(q->SizeRaw() == 0);
+
+  return FinalizeRun(stats, clocks, cps);
+}
+
+}  // namespace orthrus::engine

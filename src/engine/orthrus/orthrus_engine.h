@@ -1,0 +1,84 @@
+// ORTHRUS: the paper's prototype (Section 3).
+//
+// Functionality is partitioned across cores: `num_cc` cores run *only*
+// concurrency control (each owns a disjoint partition of the lock space and
+// keeps its lock meta-data strictly core-local), and the remaining cores
+// run *only* transaction logic. The two kinds of cores share no data
+// structures; they cooperate exclusively through per-pair latch-free SPSC
+// message queues (Section 3.1).
+//
+// Lock acquisition follows the deadlock-avoidance discipline of Section
+// 3.2: a transaction's full lock set is known up front (from analysis or
+// OLLP reconnaissance), grouped by owning CC thread, and requested in
+// ascending CC-thread order, one CC at a time. With the Section 3.3
+// forwarding optimization each CC forwards the transaction directly to the
+// next CC in its chain, so a transaction whose locks live on Ncc threads
+// costs Ncc+1 messages instead of 2*Ncc; the ablation flag `forwarding`
+// turns this off to measure exactly that difference.
+//
+// Execution threads are asynchronous (Section 3.3): each keeps a bounded
+// window of in-flight transactions, starting new ones instead of blocking
+// on lock grants. Lock releases are messages too, and are acknowledged
+// immediately by CC threads (as in the paper); a transaction's slot is
+// recycled once all its release acks arrive.
+#ifndef ORTHRUS_ENGINE_ORTHRUS_ORTHRUS_ENGINE_H_
+#define ORTHRUS_ENGINE_ORTHRUS_ORTHRUS_ENGINE_H_
+
+#include "engine/engine.h"
+
+namespace orthrus::engine {
+
+struct OrthrusOptions {
+  // Cores devoted to concurrency control; the remaining
+  // (EngineOptions::num_cores - num_cc) cores execute transactions.
+  int num_cc = 4;
+
+  // Maximum transactions an execution thread keeps in flight.
+  int max_inflight = 8;
+
+  // Section 3.3 optimization: CC->CC forwarding of lock-acquisition chains.
+  bool forwarding = true;
+
+  // Use physically partitioned indexes (SPLIT ORTHRUS, Section 4.3). The
+  // database must then be loaded with num_table_partitions == num_cc.
+  bool split_index = false;
+
+  // Section 3.4's alternative architecture: instead of partitioning the
+  // lock space, all CC threads share one latched lock table and any one of
+  // them acquires a transaction's complete lock set (in global key order,
+  // so deadlock freedom is preserved; a blocked acquisition is continued by
+  // whichever CC thread grants the blocking lock). Synchronization exists
+  // again — but only among the CC threads, a much smaller set than all
+  // cores, which is exactly the trade the paper describes.
+  bool shared_cc_table = false;
+
+  // Modeled CPU work a CC thread spends per lock insert/release. Lower
+  // than the shared lock table's per-op cost (lock::LockTable::Config):
+  // a CC thread's instructions and meta-data stay cache-resident because
+  // the thread does nothing else — the cache-locality benefit of
+  // partitioned functionality (Section 2.1 / 3.1).
+  hal::Cycles cc_op_cycles = 12;
+};
+
+class OrthrusEngine final : public Engine {
+ public:
+  OrthrusEngine(EngineOptions options, OrthrusOptions orthrus);
+
+  RunResult Run(hal::Platform* platform, storage::Database* db,
+                const workload::Workload& workload) override;
+  std::string name() const override;
+
+  int num_cc() const { return orthrus_.num_cc; }
+  int num_exec() const { return options_.num_cores - orthrus_.num_cc; }
+
+  // Worker-id layout inside RunResult::per_worker: CC threads first.
+  bool IsCcWorker(int worker_id) const { return worker_id < orthrus_.num_cc; }
+
+ private:
+  EngineOptions options_;
+  OrthrusOptions orthrus_;
+};
+
+}  // namespace orthrus::engine
+
+#endif  // ORTHRUS_ENGINE_ORTHRUS_ORTHRUS_ENGINE_H_

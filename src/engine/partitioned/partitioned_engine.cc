@@ -1,0 +1,91 @@
+#include "engine/partitioned/partitioned_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "txn/ollp.h"
+
+namespace orthrus::engine {
+
+RunResult PartitionedEngine::Run(hal::Platform* platform,
+                                 storage::Database* db,
+                                 const workload::Workload& workload) {
+  const int n = options_.num_cores;
+  ORTHRUS_CHECK_MSG(db->partitioner().n == n,
+                    "Partitioned-store needs one partition per worker; "
+                    "load the database with num_table_partitions == cores");
+
+  // One coarse-grained lock per partition.
+  std::vector<std::unique_ptr<hal::SpinLock>> partition_locks;
+  partition_locks.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    partition_locks.push_back(std::make_unique<hal::SpinLock>());
+  }
+
+  std::vector<WorkerStats> stats(n);
+  std::vector<WorkerClock> clocks(n);
+  const double cps = platform->CyclesPerSecond();
+
+  for (int w = 0; w < n; ++w) {
+    platform->Spawn(w, [this, w, db, &workload, &partition_locks, &stats,
+                        &clocks, cps]() {
+      WorkerStats& st = stats[w];
+      WorkerClock& clock = clocks[w];
+      std::unique_ptr<workload::TxnSource> source = workload.MakeSource(w);
+      txn::Txn t;
+      std::vector<int> parts;
+      parts.reserve(16);
+      clock.Begin(options_.duration_seconds, cps);
+
+      while (!clock.Expired() &&
+             (options_.max_txns_per_worker == 0 ||
+              st.committed < options_.max_txns_per_worker)) {
+        source->Next(&t);
+        txn::OllpPlan(&t, db);
+        t.start_cycles = hal::Now();
+        t.restarts = 0;
+
+        bool committed = false;
+        while (!committed) {
+          // Partition footprint, ascending and deduplicated: the ascending
+          // order makes partition-lock acquisition deadlock free.
+          parts.clear();
+          for (const txn::Access& a : t.accesses) {
+            parts.push_back(db->partitioner().PartOf(a.key));
+          }
+          std::sort(parts.begin(), parts.end());
+          parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+
+          hal::Cycles t0 = hal::Now();
+          for (int p : parts) partition_locks[p]->Lock();
+          st.Add(TimeCategory::kLocking, hal::Now() - t0);
+
+          t0 = hal::Now();
+          for (txn::Access& a : t.accesses) ResolveRow(db, &a);
+          txn::ExecContext ec{db, &st, /*charge_cycles=*/true};
+          const bool ok = t.logic->Run(&t, ec);
+          st.Add(TimeCategory::kExecution, hal::Now() - t0);
+
+          t0 = hal::Now();
+          for (int p : parts) partition_locks[p]->Unlock();
+          st.Add(TimeCategory::kLocking, hal::Now() - t0);
+
+          if (!ok) {
+            if (!txn::OllpReplanAfterMismatch(&t, db, &st)) break;
+            continue;
+          }
+          st.committed++;
+          st.txn_latency.Record(hal::Now() - t.start_cycles);
+          committed = true;
+        }
+      }
+      clock.Finish();
+    });
+  }
+
+  platform->Run();
+  return FinalizeRun(stats, clocks, cps);
+}
+
+}  // namespace orthrus::engine

@@ -1,0 +1,34 @@
+// "Partitioned-store" baseline (Section 4.3): the single-node H-Store /
+// VoltDB / HyPer architecture as re-implemented by Tu et al. for Silo's
+// comparison. Data is physically partitioned across worker threads, each
+// partition has its own (small, cache-friendly) index, and concurrency
+// control is a single coarse-grained spinlock per partition.
+//
+// A transaction acquires the partition locks of every partition it touches,
+// in ascending partition order (so partition-lock deadlock is impossible),
+// executes, and releases. Single-partition transactions therefore pay one
+// uncontended, locally-cached spinlock acquisition and no record-level CC
+// at all — which is why this baseline wins Figure 6's 1-partition point and
+// collapses as soon as transactions cross partitions.
+#ifndef ORTHRUS_ENGINE_PARTITIONED_PARTITIONED_ENGINE_H_
+#define ORTHRUS_ENGINE_PARTITIONED_PARTITIONED_ENGINE_H_
+
+#include "engine/engine.h"
+
+namespace orthrus::engine {
+
+class PartitionedEngine final : public Engine {
+ public:
+  explicit PartitionedEngine(EngineOptions options) : options_(options) {}
+
+  RunResult Run(hal::Platform* platform, storage::Database* db,
+                const workload::Workload& workload) override;
+  std::string name() const override { return "partitioned-store"; }
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace orthrus::engine
+
+#endif  // ORTHRUS_ENGINE_PARTITIONED_PARTITIONED_ENGINE_H_

@@ -1,0 +1,159 @@
+#include "engine/twopl/twopl_engine.h"
+
+#include <vector>
+
+#include "txn/ollp.h"
+
+namespace orthrus::engine {
+
+TwoPlEngine::TwoPlEngine(EngineOptions options, DeadlockPolicyKind policy)
+    : options_(options), policy_kind_(policy) {}
+
+TwoPlEngine::~TwoPlEngine() = default;
+
+std::string TwoPlEngine::name() const {
+  switch (policy_kind_) {
+    case DeadlockPolicyKind::kWaitDie:
+      return "2pl-waitdie";
+    case DeadlockPolicyKind::kWaitForGraph:
+      return "2pl-waitforgraph";
+    case DeadlockPolicyKind::kDreadlocks:
+      return "2pl-dreadlocks";
+  }
+  return "2pl";
+}
+
+std::unique_ptr<lock::DeadlockPolicy> TwoPlEngine::MakePolicy() const {
+  switch (policy_kind_) {
+    case DeadlockPolicyKind::kWaitDie:
+      return std::make_unique<lock::WaitDiePolicy>();
+    case DeadlockPolicyKind::kWaitForGraph:
+      return std::make_unique<lock::WaitForGraphPolicy>(options_.num_cores);
+    case DeadlockPolicyKind::kDreadlocks:
+      return std::make_unique<lock::DreadlocksPolicy>();
+  }
+  return nullptr;
+}
+
+RunResult TwoPlEngine::Run(hal::Platform* platform, storage::Database* db,
+                           const workload::Workload& workload) {
+  const int n = options_.num_cores;
+  lock::LockTable::Config lt_config;
+  lt_config.num_buckets = options_.lock_buckets;
+  lt_config.max_lock_heads = options_.max_lock_heads;
+  lt_config.max_workers = n;
+  lock::LockTable lock_table(lt_config);
+
+  std::vector<WorkerStats> stats(n);
+  std::vector<WorkerClock> clocks(n);
+  std::unique_ptr<lock::DeadlockPolicy> policy = MakePolicy();
+
+  // Worker contexts are registered up front (single-threaded) so no
+  // registration races exist at run time.
+  std::vector<lock::WorkerLockCtx*> ctxs(n);
+  for (int w = 0; w < n; ++w) ctxs[w] = lock_table.RegisterWorker(w, &stats[w]);
+
+  const double cps = platform->CyclesPerSecond();
+  for (int w = 0; w < n; ++w) {
+    platform->Spawn(w, [this, w, db, &workload, &lock_table, &stats, &clocks,
+                        &ctxs, policy = policy.get(), cps]() {
+      WorkerStats& st = stats[w];
+      WorkerClock& clock = clocks[w];
+      lock::WorkerLockCtx* ctx = ctxs[w];
+      std::unique_ptr<workload::TxnSource> source = workload.MakeSource(w);
+      txn::Txn t;
+      std::uint64_t ts_counter = 0;
+      clock.Begin(options_.duration_seconds, cps);
+
+      while (!clock.Expired() &&
+             (options_.max_txns_per_worker == 0 ||
+              st.committed < options_.max_txns_per_worker)) {
+        source->Next(&t);
+        txn::OllpPlan(&t, db);
+        // Timestamps order transactions by age for wait-die; kept across
+        // restarts so old transactions eventually win. Low bits break ties
+        // between workers.
+        t.timestamp = (++ts_counter << 8) | static_cast<std::uint64_t>(w);
+        t.start_cycles = hal::Now();
+        t.restarts = 0;
+
+        bool committed = false;
+        while (!committed) {
+          ctx->txn_timestamp = t.timestamp;
+          bool aborted = false;
+
+          // Dynamic 2PL: acquire each lock at the access's turn, then do
+          // that access's share of the work while holding it.
+          for (std::size_t i = 0; i < t.accesses.size(); ++i) {
+            txn::Access& a = t.accesses[i];
+            hal::Cycles t0 = hal::Now();
+            lock::LockTable::AcquireResult r = lock_table.Acquire(
+                ctx, a.table, a.key, a.mode, policy);
+            if (r == lock::LockTable::AcquireResult::kWaiting) {
+              st.Add(TimeCategory::kLocking, hal::Now() - t0);
+              if (!lock_table.Wait(ctx, policy)) {
+                aborted = true;
+                break;
+              }
+              t0 = hal::Now();
+            } else if (r == lock::LockTable::AcquireResult::kDie) {
+              st.Add(TimeCategory::kLocking, hal::Now() - t0);
+              aborted = true;
+              break;
+            }
+            st.Add(TimeCategory::kLocking, hal::Now() - t0);
+
+            t0 = hal::Now();
+            ResolveRow(db, &a);
+            hal::ConsumeCycles(t.logic->OpCost(&t, i, db));
+            st.Add(TimeCategory::kExecution, hal::Now() - t0);
+          }
+
+          if (aborted) {
+            hal::Cycles t0 = hal::Now();
+            lock_table.ReleaseAll(ctx);
+            st.Add(TimeCategory::kLocking, hal::Now() - t0);
+            st.aborted++;
+            t.restarts++;
+            // Brief jittered backoff before retrying (grows with restart
+            // count, capped) to let the conflicting older txn finish.
+            hal::ConsumeCycles(
+                (100ull << std::min<std::uint32_t>(t.restarts, 4)) +
+                hal::FastJitter(256));
+            hal::CpuRelax();
+            continue;
+          }
+
+          // All locks held, per-access work charged: apply the procedure's
+          // real memory effects without double-charging cycles.
+          hal::Cycles t0 = hal::Now();
+          txn::ExecContext ec{db, &st, /*charge_cycles=*/false};
+          const bool ok = t.logic->Run(&t, ec);
+          st.Add(TimeCategory::kExecution, hal::Now() - t0);
+
+          if (!ok) {
+            // Stale OLLP estimate (data-dependent access set changed).
+            t0 = hal::Now();
+            lock_table.ReleaseAll(ctx);
+            st.Add(TimeCategory::kLocking, hal::Now() - t0);
+            if (!txn::OllpReplanAfterMismatch(&t, db, &st)) break;
+            continue;
+          }
+
+          t0 = hal::Now();
+          lock_table.ReleaseAll(ctx);
+          st.Add(TimeCategory::kLocking, hal::Now() - t0);
+          st.committed++;
+          st.txn_latency.Record(hal::Now() - t.start_cycles);
+          committed = true;
+        }
+      }
+      clock.Finish();
+    });
+  }
+
+  platform->Run();
+  return FinalizeRun(stats, clocks, cps);
+}
+
+}  // namespace orthrus::engine

@@ -1,0 +1,45 @@
+// Conventional two-phase locking engine: the paper's archetype of "conflated
+// functionality" (Section 2.1). Every worker thread does everything — it
+// runs transaction logic *and* manipulates the shared lock manager — so
+// workload contention translates directly into physical contention on
+// bucket latches and lock-request lists.
+//
+// Locks are acquired dynamically, one per access in the transaction's
+// natural order, interleaved with that access's share of the execution work
+// (Section 2.2's dynamic data access). Deadlock handling is pluggable:
+// wait-die, wait-for graph, or Dreadlocks.
+#ifndef ORTHRUS_ENGINE_TWOPL_TWOPL_ENGINE_H_
+#define ORTHRUS_ENGINE_TWOPL_TWOPL_ENGINE_H_
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "lock/lock_table.h"
+
+namespace orthrus::engine {
+
+enum class DeadlockPolicyKind {
+  kWaitDie,
+  kWaitForGraph,
+  kDreadlocks,
+};
+
+class TwoPlEngine final : public Engine {
+ public:
+  TwoPlEngine(EngineOptions options, DeadlockPolicyKind policy);
+  ~TwoPlEngine() override;
+
+  RunResult Run(hal::Platform* platform, storage::Database* db,
+                const workload::Workload& workload) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<lock::DeadlockPolicy> MakePolicy() const;
+
+  EngineOptions options_;
+  DeadlockPolicyKind policy_kind_;
+};
+
+}  // namespace orthrus::engine
+
+#endif  // ORTHRUS_ENGINE_TWOPL_TWOPL_ENGINE_H_

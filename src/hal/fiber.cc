@@ -1,0 +1,64 @@
+#include "hal/fiber.h"
+
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace orthrus::hal {
+
+Fiber::Fiber(Entry entry, std::size_t stack_size)
+    : entry_(std::move(entry)) {
+  ORTHRUS_CHECK(stack_size >= 16 * 1024);
+  stack_ = std::make_unique<std::uint8_t[]>(stack_size);
+
+  // Build the initial frame the asm swap routine expects: six callee-saved
+  // register slots below a return address pointing at the trampoline. %r12
+  // carries the fiber pointer into the trampoline.
+  std::uintptr_t top =
+      reinterpret_cast<std::uintptr_t>(stack_.get() + stack_size);
+  top &= ~static_cast<std::uintptr_t>(15);  // 16-byte alignment
+  std::uint64_t* p = reinterpret_cast<std::uint64_t*>(top);
+  *(p - 1) = 0;  // alignment pad / fake caller frame
+  *(p - 2) = reinterpret_cast<std::uint64_t>(&orthrus_fiber_trampoline);
+  *(p - 3) = 0;                                      // rbp
+  *(p - 4) = 0;                                      // rbx
+  *(p - 5) = reinterpret_cast<std::uint64_t>(this);  // r12
+  *(p - 6) = 0;                                      // r13
+  *(p - 7) = 0;                                      // r14
+  *(p - 8) = 0;                                      // r15
+  sp_ = p - 8;
+}
+
+Fiber::~Fiber() {
+  // A fiber must not be destroyed while suspended mid-execution unless it
+  // already ran to completion; destroying a live fiber would leak whatever
+  // its stack owns. Platforms join all cores before tearing down.
+}
+
+void Fiber::SwitchIn(void** save_sp) {
+  ORTHRUS_DCHECK(!done_);
+  exit_sp_slot_ = save_sp;
+  orthrus_fiber_swap(save_sp, sp_);
+}
+
+void Fiber::SwitchOut(void** save_sp, void* to_sp) {
+  orthrus_fiber_swap(save_sp, to_sp);
+}
+
+void Fiber::Entrypoint(Fiber* self) {
+  self->entry_();
+  self->done_ = true;
+  // Return to whoever resumed us most recently. The saved context lives in
+  // the slot the resumer passed to SwitchIn.
+  void* dummy;
+  orthrus_fiber_swap(&dummy, *self->exit_sp_slot_);
+  // Unreachable: a finished fiber is never switched into again.
+  std::abort();
+}
+
+}  // namespace orthrus::hal
+
+extern "C" void orthrus_fiber_entry(void* fiber) {
+  orthrus::hal::Fiber::Entrypoint(static_cast<orthrus::hal::Fiber*>(fiber));
+  std::abort();  // Entrypoint never returns.
+}

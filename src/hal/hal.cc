@@ -1,0 +1,16 @@
+#include "hal/hal.h"
+
+namespace orthrus::hal {
+
+namespace {
+// Identifies the logical core for the calling OS thread. Under simulation
+// all fibers share one OS thread and the scheduler rewrites this on every
+// fiber switch; under the native platform each spawned thread sets it once.
+thread_local CoreContext* tls_current_core = nullptr;
+}  // namespace
+
+CoreContext* CurrentCore() { return tls_current_core; }
+
+void SetCurrentCore(CoreContext* ctx) { tls_current_core = ctx; }
+
+}  // namespace orthrus::hal

@@ -1,0 +1,280 @@
+// Hardware abstraction layer.
+//
+// Every engine in this repository is written against this small API instead
+// of raw std::thread / std::atomic. Two implementations exist:
+//
+//  * SimPlatform (sim_platform.h): a deterministic discrete-event multicore
+//    simulator. Logical cores are fibers; atomic operations are charged
+//    cache-coherence costs; time is virtual. This is how we reproduce the
+//    paper's 80-core experiments on a 1-core host.
+//  * NativePlatform (native_platform.h): real std::threads and real atomics,
+//    used by the test suite to prove the engines are genuinely thread-safe
+//    and by downstream users on real many-core machines.
+//
+// The contract engines must follow:
+//  - all cross-core shared mutable state lives in hal::Atomic<T> (or
+//    structures built from it, e.g. hal::SpinLock, mp::SpscQueue);
+//  - spin loops call hal::CpuRelax() every iteration;
+//  - modeled computation (transaction logic, record copies) is declared via
+//    hal::ConsumeCycles(n);
+//  - data that is protected by logical locks (record payloads) may use plain
+//    memory: the engine's own locking discipline makes it race-free.
+#ifndef ORTHRUS_HAL_HAL_H_
+#define ORTHRUS_HAL_HAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+#include "common/bitset128.h"
+#include "common/macros.h"
+
+namespace orthrus::hal {
+
+using Cycles = std::uint64_t;
+
+class Platform;
+
+// Identity of the logical core the calling context is running on.
+struct CoreContext {
+  Platform* platform = nullptr;
+  int core_id = -1;
+  // Per-core PCG-style state for spin-loop jitter (see FastJitter).
+  std::uint64_t jitter_state = 0x9E3779B97F4A7C15ull;
+};
+
+// Returns the current logical core, or nullptr when called from setup code
+// outside any core (e.g. while loading tables).
+CoreContext* CurrentCore();
+
+// Installs/clears the current core. Platform-internal.
+void SetCurrentCore(CoreContext* ctx);
+
+// Kind of memory operation, for the simulator's cost model. Plain stores
+// retire through the store buffer (the core does not stall on the line
+// transfer), while atomic read-modify-writes must own the line for their
+// full service time — which is why contended RMWs serialize and contended
+// stores mostly do not.
+enum class MemOp { kLoad, kStore, kRmw };
+
+// Simulator metadata for one cache line. Embedded in every hal::Atomic so a
+// modeled access needs no hash lookups. Ignored by the native platform.
+struct LineMeta {
+  std::int16_t owner = -1;   // core that last wrote the line
+  Bitset128 readers;         // cores holding a (possibly shared) copy
+  Cycles busy_until = 0;     // line occupied by in-flight atomic RMWs
+};
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  virtual int num_cores() const = 0;
+  virtual bool is_simulated() const = 0;
+
+  // Registers logical core `core_id` to run `fn`. All Spawn calls must
+  // happen before Run.
+  virtual void Spawn(int core_id, std::function<void()> fn) = 0;
+
+  // Runs all spawned cores to completion (joins threads / drains the event
+  // loop). May be called once.
+  virtual void Run() = 0;
+
+  // Nominal clock rate used to convert cycles to seconds in reports.
+  virtual double CyclesPerSecond() const = 0;
+
+  // --- Hooks invoked from running cores -------------------------------
+
+  // Current core's clock (virtual cycles under simulation).
+  virtual Cycles Now() = 0;
+
+  // Declares n cycles of computation by the current core.
+  virtual void ConsumeCycles(Cycles n) = 0;
+
+  // Polite spin-wait pause; a scheduling point under simulation.
+  virtual void CpuRelax() = 0;
+
+  // Charges the coherence cost of an atomic access to `line`. Called by
+  // hal::Atomic before performing the underlying operation.
+  virtual void OnAtomicAccess(LineMeta* line, MemOp op) = 0;
+};
+
+// ---------------------------------------------------------------------
+// Free functions used on hot paths. All degrade to cheap no-ops when not on
+// a logical core (setup/teardown code).
+
+inline void ConsumeCycles(Cycles n) {
+  CoreContext* cc = CurrentCore();
+  if (cc != nullptr) cc->platform->ConsumeCycles(n);
+}
+
+inline void CpuRelax() {
+  CoreContext* cc = CurrentCore();
+  if (cc != nullptr) cc->platform->CpuRelax();
+}
+
+inline Cycles Now() {
+  CoreContext* cc = CurrentCore();
+  return cc != nullptr ? cc->platform->Now() : 0;
+}
+
+// Id of the calling logical core, or -1 outside any core.
+inline int CoreId() {
+  CoreContext* cc = CurrentCore();
+  return cc != nullptr ? cc->core_id : -1;
+}
+
+// Cheap deterministic per-core jitter in [0, bound). Spin loops add it to
+// their backoff so that, under the *deterministic* simulator, competing
+// cores cannot phase-lock into periodic patterns where one core loses every
+// latch race forever — real hardware breaks such ties with timing noise,
+// the simulator breaks them with per-core pseudo-randomness (runs remain
+// reproducible).
+inline Cycles FastJitter(Cycles bound) {
+  CoreContext* cc = CurrentCore();
+  if (cc == nullptr || bound == 0) return 0;
+  cc->jitter_state =
+      cc->jitter_state * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<Cycles>((cc->jitter_state >> 33) % bound);
+}
+
+// ---------------------------------------------------------------------
+// hal::Atomic<T>: a std::atomic whose accesses are charged coherence costs
+// under simulation. Aligned to a cache line so each instance models one
+// line, matching how contended metadata behaves on real hardware.
+
+template <typename T>
+class alignas(kCacheLineSize) Atomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "hal::Atomic models single-line word-sized state");
+
+ public:
+  Atomic() : v_{} {}
+  explicit Atomic(T v) : v_(v) {}
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load() {
+    Touch(MemOp::kLoad);
+    return v_.load(std::memory_order_acquire);
+  }
+
+  void store(T v) {
+    Touch(MemOp::kStore);
+    v_.store(v, std::memory_order_release);
+  }
+
+  T fetch_add(T d) {
+    Touch(MemOp::kRmw);
+    return v_.fetch_add(d, std::memory_order_acq_rel);
+  }
+
+  T exchange(T v) {
+    Touch(MemOp::kRmw);
+    return v_.exchange(v, std::memory_order_acq_rel);
+  }
+
+  bool compare_exchange(T& expected, T desired) {
+    Touch(MemOp::kRmw);
+    return v_.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+
+  // Unmodeled accesses for single-threaded setup / teardown / verification
+  // code. Never use these from a running core for cross-core state.
+  T RawLoad() const { return v_.load(std::memory_order_relaxed); }
+  void RawStore(T v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  void Touch(MemOp op) {
+    CoreContext* cc = CurrentCore();
+    if (cc != nullptr) cc->platform->OnAtomicAccess(&line_, op);
+  }
+
+  std::atomic<T> v_;
+  LineMeta line_;
+};
+
+// ---------------------------------------------------------------------
+// Ticket spinlock over modeled atomics. Used for lock-table bucket latches
+// and partition locks. FIFO handoff matters: under extreme arrival rates an
+// unfair test-and-set latch can starve a holder of a *logical* lock trying
+// to release it, wedging the whole system — a pathology fair latches (and
+// production lock managers) avoid. Under simulation the ticket counter's
+// serialized RMWs and the handoff invalidations produce the contention
+// behaviour behind the paper's Figure 1.
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+
+  void Lock() {
+    const std::uint32_t my = next_.fetch_add(1);
+    Cycles backoff = 0;
+    while (serving_.load() != my) {
+      ConsumeCycles(backoff + FastJitter(64));
+      CpuRelax();
+      backoff = backoff < 256 ? backoff + 32 : 256;
+    }
+  }
+
+  void Unlock() {
+    // Only the holder writes `serving_`, so the increment is race-free; the
+    // RMW's invalidation of all spinning waiters is the modeled handoff.
+    serving_.fetch_add(1);
+  }
+
+  // Setup-time (unmodeled) check, for tests.
+  bool IsLockedRaw() const {
+    return next_.RawLoad() != serving_.RawLoad();
+  }
+
+ private:
+  Atomic<std::uint32_t> next_{0};
+  Atomic<std::uint32_t> serving_{0};
+};
+
+// RAII guard for SpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& l) : l_(l) { l_.Lock(); }
+  ~SpinLockGuard() { l_.Unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& l_;
+};
+
+// ---------------------------------------------------------------------
+// Exponential idle backoff for polling loops. Under simulation an idle core
+// that polls every ~30 cycles would flood the event queue; backing off to a
+// bounded cap keeps event counts proportional to useful work while adding
+// at most `cap` cycles of wakeup latency (the same trade real systems make).
+
+class IdleBackoff {
+ public:
+  explicit IdleBackoff(Cycles cap = 2048) : cap_(cap) {}
+
+  // Call when an iteration made no progress.
+  void Idle() {
+    ConsumeCycles(current_);
+    CpuRelax();
+    current_ = current_ < cap_ ? current_ * 2 : cap_;
+  }
+
+  // Call when progress was made.
+  void Reset() { current_ = kBase; }
+
+ private:
+  static constexpr Cycles kBase = 32;
+  Cycles cap_;
+  Cycles current_ = kBase;
+};
+
+}  // namespace orthrus::hal
+
+#endif  // ORTHRUS_HAL_HAL_H_

@@ -1,0 +1,70 @@
+// Dreadlocks deadlock detection (Koskinen & Herlihy, as used in Shore-MT;
+// Section 4.1). Each worker publishes a digest — a bitmap over workers that
+// represents the transitive closure of its wait-for set. A waiter spins on
+// its blocker's digest, unioning it into its own; observing its own bit in
+// the blocker's digest proves a cycle.
+//
+// The published digest is two 64-bit modeled atomics. Waiters re-reading a
+// blocker's digest after every update is precisely the cache-coherence
+// traffic the paper blames for Dreadlocks' overhead on TPC-C (Section
+// 4.4.1): every digest write invalidates every spinning reader.
+#include "lock/lock_table.h"
+
+#include "common/bitset128.h"
+
+namespace orthrus::lock {
+
+namespace {
+
+void PublishDigest(WorkerLockCtx* ctx, const Bitset128& d) {
+  ctx->digest_lo.store(d.lo);
+  ctx->digest_hi.store(d.hi);
+}
+
+}  // namespace
+
+bool DreadlocksPolicy::OnBlock(WorkerLockCtx* me, Request* req) {
+  PublishDigest(me, Bitset128::Single(me->worker_id));
+  return true;
+}
+
+bool DreadlocksPolicy::WaitForGrant(WorkerLockCtx* me, Request* req,
+                                    LockTable* table) {
+  Bitset128 mine = Bitset128::Single(me->worker_id);
+  int iter = 0;
+  hal::Cycles backoff = 0;
+  while (true) {
+    if (req->granted.load() != 0) return true;
+
+    WorkerLockCtx* blocker = me->blocker;
+    if (blocker != nullptr) {
+      Bitset128 theirs;
+      theirs.lo = blocker->digest_lo.load();
+      theirs.hi = blocker->digest_hi.load();
+      if (theirs.Test(me->worker_id)) {
+        return false;  // we are in our own transitive closure: deadlock
+      }
+      const Bitset128 before = mine;
+      mine.Union(theirs);
+      mine.Set(blocker->worker_id);
+      if (!(mine == before)) PublishDigest(me, mine);
+    }
+
+    hal::ConsumeCycles(backoff + hal::FastJitter(64));
+    hal::CpuRelax();
+    backoff = backoff < 512 ? backoff + 64 : 512;
+    if (++iter % 32 == 0) {
+      table->RefreshBlocker(me);
+      // Blocker may have changed; restart the closure from scratch so bits
+      // from a stale blocker do not linger as false-positive fuel.
+      mine = Bitset128::Single(me->worker_id);
+      PublishDigest(me, mine);
+    }
+  }
+}
+
+void DreadlocksPolicy::OnWaitEnd(WorkerLockCtx* me) {
+  PublishDigest(me, Bitset128::Single(me->worker_id));
+}
+
+}  // namespace orthrus::lock

@@ -1,0 +1,27 @@
+// Wait-die deadlock avoidance (Section 4.1).
+//
+// A requester may wait only on transactions strictly older than itself
+// (smaller timestamp); otherwise it dies immediately. Since every wait edge
+// then points from an older to a younger transaction, timestamps strictly
+// increase along any wait chain and a cycle is impossible. The cost is
+// false positives: young transactions die even when no deadlock exists —
+// exactly the behaviour Figure 4 measures.
+#include "lock/lock_table.h"
+
+namespace orthrus::lock {
+
+bool WaitDiePolicy::OnBlock(WorkerLockCtx* me, Request* req) {
+  // Walk every conflicting request ahead of us (granted or waiting): we may
+  // wait only if we are older than all of them. Comparing against waiters
+  // too — not just holders — preserves the old->young invariant
+  // transitively through FIFO queues.
+  for (const Request* r = req->prev; r != nullptr; r = r->prev) {
+    if (!Conflicts(req->mode, r->mode)) continue;
+    if (r->owner_ts <= me->txn_timestamp) {
+      return false;  // younger (or tied): die
+    }
+  }
+  return true;
+}
+
+}  // namespace orthrus::lock

@@ -1,0 +1,62 @@
+// Wait-for graph deadlock detection (Section 4.1), in the partitioned,
+// latch-free style of Yu et al.: each worker owns exactly one outgoing
+// wait-for cell (it waits on at most one lock at a time), and detection is
+// a latch-free pointer chase across other workers' cells. Edges read during
+// the chase can be momentarily stale, which can cause rare false positives
+// or delayed detection — the same trade the original makes; correctness is
+// preserved because a detected "cycle" only ever aborts the requester.
+#include "lock/lock_table.h"
+
+namespace orthrus::lock {
+
+namespace {
+
+std::uint64_t AsWord(WorkerLockCtx* ctx) {
+  return reinterpret_cast<std::uint64_t>(ctx);
+}
+
+WorkerLockCtx* AsCtx(std::uint64_t word) {
+  return reinterpret_cast<WorkerLockCtx*>(word);
+}
+
+}  // namespace
+
+bool WaitForGraphPolicy::OnBlock(WorkerLockCtx* me, Request* req) {
+  // Publish the edge me -> blocker. `me->blocker` was resolved by Acquire
+  // under the bucket latch just before this call.
+  me->waits_for.store(AsWord(me->blocker));
+  return true;
+}
+
+bool WaitForGraphPolicy::WaitForGrant(WorkerLockCtx* me, Request* req,
+                                      LockTable* table) {
+  int iter = 0;
+  hal::Cycles backoff = 0;
+  while (true) {
+    if (req->granted.load() != 0) return true;
+
+    // Chase outgoing edges from our blocker; bounded by worker count since
+    // a simple (cycle-free) path cannot be longer.
+    WorkerLockCtx* cur = me->blocker;
+    for (int depth = 0; cur != nullptr && depth < max_workers_; ++depth) {
+      if (cur == me) return false;  // cycle through us: deadlock
+      cur = AsCtx(cur->waits_for.load());
+    }
+
+    hal::ConsumeCycles(backoff + hal::FastJitter(64));
+    hal::CpuRelax();
+    backoff = backoff < 512 ? backoff + 64 : 512;
+    if (++iter % 32 == 0) {
+      // The queue ahead of us may have changed (blocker released or
+      // aborted); re-resolve and republish our edge.
+      table->RefreshBlocker(me);
+      me->waits_for.store(AsWord(me->blocker));
+    }
+  }
+}
+
+void WaitForGraphPolicy::OnWaitEnd(WorkerLockCtx* me) {
+  me->waits_for.store(0);
+}
+
+}  // namespace orthrus::lock

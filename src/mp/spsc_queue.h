@@ -1,0 +1,103 @@
+// Latch-free single-producer / single-consumer ring buffer — the message-
+// passing substrate of Section 3.1.
+//
+// The paper's key observation: a single shared input queue per concurrency-
+// control thread would reintroduce the very synchronization bottleneck the
+// design is trying to remove, so each (sender, receiver) pair gets its own
+// queue with exactly one writer and one reader. With one writer and one
+// reader, a Lamport ring buffer needs no atomic read-modify-writes at all:
+// the producer only stores to the tail, the consumer only stores to the
+// head, and each side caches the other's index so steady-state operations
+// touch remote state only when the cached view is exhausted.
+#ifndef ORTHRUS_MP_SPSC_QUEUE_H_
+#define ORTHRUS_MP_SPSC_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/macros.h"
+#include "hal/hal.h"
+
+namespace orthrus::mp {
+
+template <typename T>
+class SpscQueue {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "queue payloads are word-sized messages");
+
+ public:
+  // Capacity must be a power of two (index masking).
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(capacity),
+        mask_(capacity - 1),
+        slots_(std::make_unique<Slot[]>(capacity)) {
+    ORTHRUS_CHECK(IsPowerOfTwo(capacity));
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Producer side. Returns false when the queue is full.
+  bool TryEnqueue(T value) {
+    if (tail_local_ - head_cache_ >= capacity_) {
+      head_cache_ = head_.load();
+      if (tail_local_ - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail_local_ & mask_].v.store(value);
+    tail_local_++;
+    tail_.store(tail_local_);
+    return true;
+  }
+
+  // Consumer side. Returns false when the queue is empty.
+  bool TryDequeue(T* out) {
+    if (head_local_ == tail_cache_) {
+      tail_cache_ = tail_.load();
+      if (head_local_ == tail_cache_) return false;
+    }
+    *out = slots_[head_local_ & mask_].v.load();
+    head_local_++;
+    head_.store(head_local_);
+    return true;
+  }
+
+  // Consumer-side emptiness probe (refreshes the cached tail).
+  bool Empty() {
+    if (head_local_ != tail_cache_) return false;
+    tail_cache_ = tail_.load();
+    return head_local_ == tail_cache_;
+  }
+
+  // Unmodeled size snapshot for tests / teardown assertions only.
+  std::size_t SizeRaw() const {
+    return static_cast<std::size_t>(tail_.RawLoad() - head_.RawLoad());
+  }
+
+ private:
+  struct Slot {
+    hal::Atomic<T> v;
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  // Shared indices (each written by exactly one side).
+  hal::Atomic<std::uint64_t> head_{0};  // written by consumer
+  hal::Atomic<std::uint64_t> tail_{0};  // written by producer
+
+  // Producer-private state (plain memory: single owner).
+  alignas(kCacheLineSize) std::uint64_t tail_local_ = 0;
+  std::uint64_t head_cache_ = 0;
+
+  // Consumer-private state.
+  alignas(kCacheLineSize) std::uint64_t head_local_ = 0;
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace orthrus::mp
+
+#endif  // ORTHRUS_MP_SPSC_QUEUE_H_

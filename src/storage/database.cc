@@ -1,0 +1,14 @@
+#include "storage/database.h"
+
+namespace orthrus::storage {
+
+Table* Database::CreateTable(std::uint32_t id, std::string name,
+                             std::uint64_t capacity, std::uint32_t row_bytes,
+                             int num_partitions) {
+  ORTHRUS_CHECK_MSG(id == tables_.size(), "table ids must be dense");
+  tables_.push_back(std::make_unique<Table>(id, std::move(name), capacity,
+                                            row_bytes, num_partitions));
+  return tables_.back().get();
+}
+
+}  // namespace orthrus::storage

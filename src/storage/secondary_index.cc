@@ -1,0 +1,40 @@
+#include "storage/secondary_index.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace orthrus::storage {
+
+void SecondaryIndex::Add(std::uint64_t attr, std::uint64_t primary_key) {
+  ORTHRUS_CHECK_MSG(!finalized_, "Add after Finalize");
+  map_[attr].push_back(primary_key);
+}
+
+void SecondaryIndex::Finalize() {
+  for (auto& [attr, postings] : map_) {
+    std::sort(postings.begin(), postings.end());
+  }
+  finalized_ = true;
+}
+
+const std::vector<std::uint64_t>& SecondaryIndex::Lookup(std::uint64_t attr) {
+  ORTHRUS_DCHECK(finalized_);
+  hal::ConsumeCycles(probe_cost_);
+  auto it = map_.find(attr);
+  return it == map_.end() ? empty_ : it->second;
+}
+
+std::uint64_t SecondaryIndex::LookupMidpoint(std::uint64_t attr) {
+  const std::vector<std::uint64_t>& postings = Lookup(attr);
+  if (postings.empty()) return kNoMatch;
+  // TPC-C 2.5.2.2: position ceil(n/2), 1-based.
+  return postings[(postings.size() + 1) / 2 - 1];
+}
+
+void SecondaryIndex::OverrideForTest(std::uint64_t attr,
+                                     std::vector<std::uint64_t> postings) {
+  map_[attr] = std::move(postings);
+}
+
+}  // namespace orthrus::storage

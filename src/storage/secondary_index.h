@@ -1,0 +1,58 @@
+// Secondary index mapping a non-unique attribute hash to primary keys.
+// TPC-C's Payment-by-last-name path reads this index to find the customer;
+// since the read happens before locks are taken, it is the OLLP
+// reconnaissance read of Section 3.2 (the access-set estimate it yields is
+// validated again at execution time).
+//
+// The index is bulk-built at load time and read-only during runs, matching
+// the paper's scope (index contention is out of scope / PLP territory). A
+// test hook can mutate entries to force OLLP estimate mismatches.
+#ifndef ORTHRUS_STORAGE_SECONDARY_INDEX_H_
+#define ORTHRUS_STORAGE_SECONDARY_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hal/hal.h"
+
+namespace orthrus::storage {
+
+class SecondaryIndex {
+ public:
+  explicit SecondaryIndex(hal::Cycles probe_cost = 40)
+      : probe_cost_(probe_cost) {}
+
+  // Setup-time: registers primary_key under attribute value `attr`.
+  void Add(std::uint64_t attr, std::uint64_t primary_key);
+
+  // Setup-time: sorts all posting lists; must be called before lookups.
+  void Finalize();
+
+  // Returns the posting list for `attr` (sorted ascending), or an empty
+  // list. Charges the modeled probe cost when called from a core.
+  const std::vector<std::uint64_t>& Lookup(std::uint64_t attr);
+
+  // TPC-C rule: pick the entry at position ceil(n/2) (1-based) of the list
+  // ordered by first name — our lists are sorted by primary key, which
+  // encodes the same ordering. Returns kNoMatch on empty.
+  static constexpr std::uint64_t kNoMatch = ~0ull;
+  std::uint64_t LookupMidpoint(std::uint64_t attr);
+
+  // Test hook: overwrite the posting list for `attr` (simulates a stale
+  // OLLP estimate caused by a concurrent index mutation).
+  void OverrideForTest(std::uint64_t attr,
+                       std::vector<std::uint64_t> postings);
+
+  std::size_t num_attrs() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> map_;
+  std::vector<std::uint64_t> empty_;
+  hal::Cycles probe_cost_;
+  bool finalized_ = false;
+};
+
+}  // namespace orthrus::storage
+
+#endif  // ORTHRUS_STORAGE_SECONDARY_INDEX_H_

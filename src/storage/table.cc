@@ -1,0 +1,106 @@
+#include "storage/table.h"
+
+#include <cstring>
+
+namespace orthrus::storage {
+
+namespace {
+// Sentinel stored in Index::keys for an empty cell. Valid keys equal to the
+// sentinel are rejected at insert.
+constexpr std::uint64_t kEmptyKey = ~0ull;
+}  // namespace
+
+Table::Table(std::uint32_t id, std::string name, std::uint64_t capacity,
+             std::uint32_t row_bytes, int num_partitions)
+    : id_(id),
+      name_(std::move(name)),
+      capacity_(capacity),
+      row_bytes_(row_bytes),
+      num_partitions_(num_partitions) {
+  ORTHRUS_CHECK(capacity >= 1);
+  ORTHRUS_CHECK(row_bytes >= 8);
+  ORTHRUS_CHECK(num_partitions >= 1);
+  rows_ = std::make_unique<std::uint8_t[]>(capacity * row_bytes);
+  std::memset(rows_.get(), 0, capacity * row_bytes);
+
+  // Size each partition's index for the worst case (all rows in one
+  // partition would still fit); 2x occupancy headroom keeps probes short.
+  const std::uint64_t per_part =
+      NextPowerOfTwo(2 * (capacity / num_partitions + 1));
+  indexes_.resize(num_partitions);
+  for (Index& idx : indexes_) {
+    idx.keys.assign(per_part, kEmptyKey);
+    idx.slots.assign(per_part, kNoSlot);
+    idx.mask = per_part - 1;
+  }
+  RecomputeCosts();
+}
+
+void Table::set_cost_model(const StorageCostModel& m) {
+  cost_model_ = m;
+  RecomputeCosts();
+}
+
+void Table::RecomputeCosts() {
+  // Bytes of index metadata a probe walks over: keys + slots arrays of one
+  // partition's index (the unit that competes for a core's cache).
+  const std::uint64_t per_part_bytes =
+      (indexes_.empty() ? 0
+                        : indexes_[0].keys.size() * 2 * sizeof(std::uint64_t));
+  probe_cost_ = cost_model_.ProbeCost(per_part_bytes);
+  row_cost_ = cost_model_.RowCost(row_bytes_);
+}
+
+std::uint64_t Table::HashKey(std::uint64_t key) {
+  // Fibonacci hashing with an extra xor-fold; cheap and well-spread for the
+  // structured keys TPC-C uses.
+  std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  return h ^ (h >> 29);
+}
+
+void* Table::Insert(std::uint64_t key, int partition) {
+  ORTHRUS_CHECK(key != kEmptyKey);
+  ORTHRUS_CHECK(partition >= 0 && partition < num_partitions_);
+  ORTHRUS_CHECK_MSG(size_ + reserved_ < capacity_, "table full");
+  Index& idx = indexes_[partition];
+  ORTHRUS_CHECK_MSG(idx.used * 2 <= idx.mask + 1, "index overfull");
+  std::uint64_t pos = HashKey(key) & idx.mask;
+  while (idx.keys[pos] != kEmptyKey) {
+    ORTHRUS_CHECK_MSG(idx.keys[pos] != key, "duplicate key");
+    pos = (pos + 1) & idx.mask;
+  }
+  const std::uint64_t slot = size_++;
+  idx.keys[pos] = key;
+  idx.slots[pos] = slot;
+  idx.used++;
+  return RowBySlot(slot);
+}
+
+void* Table::Lookup(std::uint64_t key, int partition) {
+  hal::ConsumeCycles(probe_cost_);
+  return LookupRaw(key, partition);
+}
+
+void* Table::LookupRaw(std::uint64_t key, int partition) const {
+  ORTHRUS_DCHECK(partition >= 0 && partition < num_partitions_);
+  const Index& idx = indexes_[partition];
+  std::uint64_t pos = HashKey(key) & idx.mask;
+  while (idx.keys[pos] != kEmptyKey) {
+    if (idx.keys[pos] == key) {
+      return const_cast<Table*>(this)->RowBySlot(idx.slots[pos]);
+    }
+    pos = (pos + 1) & idx.mask;
+  }
+  return nullptr;
+}
+
+std::uint64_t Table::ReserveSlots(std::uint64_t n) {
+  ORTHRUS_CHECK_MSG(size_ + reserved_ + n <= capacity_,
+                    "append region exceeds table capacity");
+  // Reserved slots grow down from the top of the slab so they never collide
+  // with index-inserted rows growing up from slot 0.
+  reserved_ += n;
+  return capacity_ - reserved_;
+}
+
+}  // namespace orthrus::storage

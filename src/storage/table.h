@@ -1,0 +1,109 @@
+// Fixed-capacity in-memory table: a slab of rows plus an open-addressing
+// hash index from 64-bit keys to row slots.
+//
+// Loading is single-threaded (setup time). At run time the primary index is
+// read-only — TPC-C's inserts (orders, order lines, history) go to append
+// regions whose placement is derived from counters already protected by the
+// workload's own logical locks, so the index needs no latching. This mirrors
+// the paper's scope: it studies concurrency control, explicitly leaving
+// index contention to complementary work (PLP).
+//
+// A table can be built "split" into per-partition sub-indexes (Section 4.3's
+// SPLIT variants): same data, but each partition's index is small enough to
+// stay cache-resident, which lowers the modeled probe cost.
+#ifndef ORTHRUS_STORAGE_TABLE_H_
+#define ORTHRUS_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/storage_cost.h"
+
+namespace orthrus::storage {
+
+inline constexpr std::uint64_t kNoSlot = ~0ull;
+
+class Table {
+ public:
+  // `id`: catalog id. `capacity`: max rows. `row_bytes`: payload size.
+  // `num_partitions` > 1 builds a split (physically partitioned) index;
+  // partition of a key is supplied by the caller at insert/lookup time so
+  // the table stays agnostic of the partitioning function.
+  Table(std::uint32_t id, std::string name, std::uint64_t capacity,
+        std::uint32_t row_bytes, int num_partitions = 1);
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t size() const { return size_; }
+  std::uint32_t row_bytes() const { return row_bytes_; }
+  int num_partitions() const { return num_partitions_; }
+
+  // --- Setup-time API (single-threaded) --------------------------------
+
+  // Inserts a new key, returning its row pointer. Aborts on duplicate key
+  // or capacity overflow: loaders are deterministic, so either is a bug.
+  void* Insert(std::uint64_t key, int partition = 0);
+
+  // --- Run-time API ----------------------------------------------------
+
+  // Returns the row for `key` or nullptr. Charges the modeled probe cost.
+  void* Lookup(std::uint64_t key, int partition = 0);
+
+  // Probe without the modeled charge (verification / loaders).
+  void* LookupRaw(std::uint64_t key, int partition = 0) const;
+
+  // Row address by slot number (append-region style access).
+  void* RowBySlot(std::uint64_t slot) {
+    ORTHRUS_DCHECK(slot < capacity_);
+    return rows_.get() + slot * row_bytes_;
+  }
+  const void* RowBySlot(std::uint64_t slot) const {
+    ORTHRUS_DCHECK(slot < capacity_);
+    return rows_.get() + slot * row_bytes_;
+  }
+
+  // Allocates `n` fresh slots from the tail of the slab without touching the
+  // hash index. Setup-time only; used to reserve append regions.
+  std::uint64_t ReserveSlots(std::uint64_t n);
+
+  // Modeled cost of touching one row of this table.
+  hal::Cycles RowAccessCost() const { return row_cost_; }
+
+  // Modeled cost of one index probe (depends on split configuration).
+  hal::Cycles ProbeCost() const { return probe_cost_; }
+
+  const StorageCostModel& cost_model() const { return cost_model_; }
+  void set_cost_model(const StorageCostModel& m);
+
+ private:
+  struct Index {
+    std::vector<std::uint64_t> keys;   // kNoSlot-keyed sentinel = empty
+    std::vector<std::uint64_t> slots;
+    std::uint64_t mask = 0;
+    std::uint64_t used = 0;
+  };
+
+  static std::uint64_t HashKey(std::uint64_t key);
+  void RecomputeCosts();
+
+  std::uint32_t id_;
+  std::string name_;
+  std::uint64_t capacity_;
+  std::uint32_t row_bytes_;
+  int num_partitions_;
+  std::uint64_t size_ = 0;       // rows inserted through the index
+  std::uint64_t reserved_ = 0;   // slots handed out by ReserveSlots
+  std::unique_ptr<std::uint8_t[]> rows_;
+  std::vector<Index> indexes_;   // one per partition
+  StorageCostModel cost_model_;
+  hal::Cycles probe_cost_ = 0;
+  hal::Cycles row_cost_ = 0;
+};
+
+}  // namespace orthrus::storage
+
+#endif  // ORTHRUS_STORAGE_TABLE_H_

@@ -1,0 +1,22 @@
+#include "txn/ollp.h"
+
+#include "common/macros.h"
+
+namespace orthrus::txn {
+
+int OllpPlan(Txn* t, storage::Database* db) {
+  t->accesses.clear();
+  t->logic->BuildAccessSet(t, db);
+  return 1;
+}
+
+bool OllpReplanAfterMismatch(Txn* t, storage::Database* db,
+                             WorkerStats* stats) {
+  stats->ollp_aborts++;
+  t->restarts++;
+  if (t->restarts > kMaxOllpRetries) return false;
+  OllpPlan(t, db);
+  return true;
+}
+
+}  // namespace orthrus::txn

@@ -1,0 +1,37 @@
+// Optimistic Lock Location Prediction (OLLP), from Thomson et al.'s Calvin,
+// as adopted by ORTHRUS (Section 3.2): transactions whose access sets are
+// data-dependent are partially executed in "reconnaissance" mode — no locks,
+// reads not assumed consistent — to *estimate* the access footprint. The
+// estimate is annotated onto the transaction; at execution time the logic
+// re-derives the footprint under locks and, if the estimate was stale,
+// aborts so the engine can re-plan with a fresh estimate.
+//
+// This header centralizes the retry loop engines use around BuildAccessSet
+// and the bookkeeping for estimate-mismatch aborts.
+#ifndef ORTHRUS_TXN_OLLP_H_
+#define ORTHRUS_TXN_OLLP_H_
+
+#include <cstdint>
+
+#include "txn/txn.h"
+
+namespace orthrus::txn {
+
+// Plans (or re-plans) a transaction's access set. Returns the number of
+// reconnaissance passes performed (1 for static access sets).
+int OllpPlan(Txn* t, storage::Database* db);
+
+// Engines call this when Run returned false (stale estimate): records the
+// abort, re-plans, and says whether the transaction may retry. A bounded
+// retry budget turns a pathological livelock (estimate never converging)
+// into a hard error instead of a silent hang; the paper reports such aborts
+// are rare in practice, and our workloads only hit them under test-injected
+// index churn.
+bool OllpReplanAfterMismatch(Txn* t, storage::Database* db,
+                             WorkerStats* stats);
+
+inline constexpr std::uint32_t kMaxOllpRetries = 64;
+
+}  // namespace orthrus::txn
+
+#endif  // ORTHRUS_TXN_OLLP_H_

@@ -1,0 +1,12 @@
+#include "txn/txn.h"
+
+namespace orthrus::txn {
+
+hal::Cycles TxnLogic::OpCost(const Txn* t, std::size_t i,
+                             storage::Database* db) const {
+  ORTHRUS_DCHECK(i < t->accesses.size());
+  const storage::Table* table = db->GetTable(t->accesses[i].table);
+  return table->RowAccessCost() + table->cost_model().op_compute_cycles;
+}
+
+}  // namespace orthrus::txn

@@ -1,0 +1,106 @@
+// TPC-C database population. Deterministic given TpccScale::seed.
+#include "common/rng.h"
+#include "workload/tpcc/tpcc_workload.h"
+
+namespace orthrus::workload::tpcc {
+
+void LoadTpccDatabase(storage::Database* db, TpccAux* aux,
+                      int num_table_partitions) {
+  const TpccScale& s = aux->scale;
+  const int parts = std::max(1, num_table_partitions);
+  db->partitioner().mode = storage::Partitioner::Mode::kWarehouseHigh32;
+  // The caller overrides `n` to the engine's partition count; default to
+  // the table partition count so split loads route consistently.
+  db->partitioner().n = parts;
+
+  Rng rng(s.seed);
+  const std::uint32_t pad = s.row_padding;
+  const int w_count = s.warehouses;
+  const int d_count = s.districts_per_warehouse;
+  const int c_count = s.customers_per_district;
+
+  storage::Table* warehouse = db->CreateTable(
+      kWarehouse, "warehouse", w_count, sizeof(WarehouseRow) + pad, parts);
+  storage::Table* district =
+      db->CreateTable(kDistrict, "district",
+                      static_cast<std::uint64_t>(w_count) * d_count,
+                      sizeof(DistrictRow) + pad, parts);
+  storage::Table* customer = db->CreateTable(
+      kCustomer, "customer",
+      static_cast<std::uint64_t>(w_count) * d_count * c_count,
+      sizeof(CustomerRow) + pad, parts);
+  storage::Table* stock =
+      db->CreateTable(kStock, "stock",
+                      static_cast<std::uint64_t>(w_count) * s.items,
+                      sizeof(StockRow) + pad, parts);
+  storage::Table* item =
+      db->CreateTable(kItem, "item", s.items, sizeof(ItemRow) + pad, 1);
+
+  auto part_of = [&](std::uint64_t key) {
+    return parts > 1 ? db->partitioner().PartOf(key) : 0;
+  };
+
+  for (int i = 0; i < s.items; ++i) {
+    ItemRow* row = static_cast<ItemRow*>(item->Insert(ItemKey(i), 0));
+    row->price_cents = static_cast<std::uint32_t>(rng.NextInRange(100, 10000));
+    row->name_hash = static_cast<std::uint32_t>(rng.Next());
+  }
+
+  for (int w = 0; w < w_count; ++w) {
+    WarehouseRow* wr = static_cast<WarehouseRow*>(
+        warehouse->Insert(WarehouseKey(w), part_of(WarehouseKey(w))));
+    wr->ytd_cents = 0;
+    wr->tax_bp = static_cast<std::uint32_t>(rng.NextU64(2001));
+
+    for (int i = 0; i < s.items; ++i) {
+      const std::uint64_t key = StockKey(w, i);
+      StockRow* sr = static_cast<StockRow*>(stock->Insert(key, part_of(key)));
+      sr->quantity = TpccWorkload::kInitialStockQuantity;
+      sr->ytd = 0;
+      sr->order_cnt = 0;
+      sr->remote_cnt = 0;
+    }
+
+    for (int d = 0; d < d_count; ++d) {
+      const std::uint64_t dkey = DistrictKey(w, d);
+      DistrictRow* dr =
+          static_cast<DistrictRow*>(district->Insert(dkey, part_of(dkey)));
+      dr->ytd_cents = 0;
+      dr->tax_bp = static_cast<std::uint32_t>(rng.NextU64(2001));
+      dr->next_o_id = 1;
+      dr->history_cnt = 0;
+      dr->delivered_o_id = 1;
+
+      for (int c = 0; c < c_count; ++c) {
+        const std::uint64_t ckey = CustomerKey(w, d, c);
+        CustomerRow* cr =
+            static_cast<CustomerRow*>(customer->Insert(ckey, part_of(ckey)));
+        cr->balance_cents = 0;
+        cr->ytd_payment_cents = 0;
+        cr->payment_cnt = 0;
+        // Deterministic last-name assignment: code = c mod effective-names.
+        // Guarantees every code in [0, effective) exists in every district,
+        // so generators can draw codes without consulting the database, and
+        // posting lists stay multi-customer as in the spec.
+        const int effective_names = std::min(s.last_names, c_count);
+        cr->last_name_code = static_cast<std::uint32_t>(c % effective_names);
+        cr->credit_ok = rng.Percent(90) ? 1 : 0;
+        aux->customers_by_name.Add(LastNameAttr(w, d, cr->last_name_code),
+                                   ckey);
+      }
+    }
+  }
+  aux->customers_by_name.Finalize();
+
+  // Append rings.
+  const int rings = w_count * d_count;
+  aux->orders.assign(rings, std::vector<OrderRec>(s.order_ring_capacity));
+  aux->order_lines.assign(
+      rings, std::vector<OrderLineRec>(
+                 static_cast<std::size_t>(s.order_ring_capacity) *
+                 s.max_items_per_order));
+  aux->history.assign(rings,
+                      std::vector<HistoryRec>(s.order_ring_capacity));
+}
+
+}  // namespace orthrus::workload::tpcc

@@ -1,0 +1,248 @@
+#include "workload/tpcc/tpcc_workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace orthrus::workload::tpcc {
+
+// --------------------------------------------------------------- source
+
+class TpccWorkload::Source final : public TxnSource {
+ public:
+  struct LogicSet {
+    txn::TxnLogic* new_order;
+    txn::TxnLogic* payment;
+    txn::TxnLogic* order_status;
+    txn::TxnLogic* delivery;
+    txn::TxnLogic* stock_level;
+  };
+
+  Source(const TpccAux* aux, LogicSet logic, int worker_id)
+      : aux_(aux),
+        logic_(logic),
+        rng_(aux->scale.seed * 0x2545F4914F6CDD1Dull + 17 + worker_id) {}
+
+  void Next(txn::Txn* t) override {
+    t->ResetForReuse();
+    const TpccMix& mix = aux_->scale.mix;
+    const int roll = static_cast<int>(rng_.NextU64(100));
+    if (roll < mix.new_order) {
+      FillNewOrder(t);
+    } else if (roll < mix.new_order + mix.payment) {
+      FillPayment(t);
+    } else if (roll < mix.new_order + mix.payment + mix.order_status) {
+      FillOrderStatus(t);
+    } else if (roll <
+               mix.new_order + mix.payment + mix.order_status + mix.delivery) {
+      FillDelivery(t);
+    } else {
+      FillStockLevel(t);
+    }
+  }
+
+ private:
+  void FillNewOrder(txn::Txn* t) {
+    const TpccScale& s = aux_->scale;
+    t->logic = logic_.new_order;
+    NewOrderParams* p = t->Params<NewOrderParams>();
+    p->w = static_cast<std::int32_t>(rng_.NextU64(s.warehouses));
+    p->d = static_cast<std::int32_t>(rng_.NextU64(s.districts_per_warehouse));
+    p->c = static_cast<std::int32_t>(
+        NuRand(&rng_, 1023, 0, s.customers_per_district - 1, 123) %
+        s.customers_per_district);
+    p->ol_cnt = static_cast<std::int32_t>(rng_.NextInRange(5, 15));
+    // Paper: 10% of NewOrder transactions span two warehouses.
+    const bool remote = s.warehouses > 1 && rng_.Percent(10);
+    const int remote_j =
+        remote ? static_cast<int>(rng_.NextU64(p->ol_cnt)) : -1;
+    for (int j = 0; j < p->ol_cnt; ++j) {
+      // Distinct items via NURand with rejection.
+      std::int32_t item;
+      bool fresh;
+      do {
+        item = static_cast<std::int32_t>(
+            NuRand(&rng_, 8191, 0, s.items - 1, 57) % s.items);
+        fresh = true;
+        for (int m = 0; m < j; ++m) fresh &= (p->item_id[m] != item);
+      } while (!fresh);
+      p->item_id[j] = item;
+      p->quantity[j] = static_cast<std::int32_t>(rng_.NextInRange(1, 10));
+      if (j == remote_j) {
+        std::int32_t other;
+        do {
+          other = static_cast<std::int32_t>(rng_.NextU64(s.warehouses));
+        } while (other == p->w);
+        p->supply_w[j] = other;
+      } else {
+        p->supply_w[j] = p->w;
+      }
+    }
+  }
+
+  void FillPayment(txn::Txn* t) {
+    const TpccScale& s = aux_->scale;
+    t->logic = logic_.payment;
+    PaymentParams* p = t->Params<PaymentParams>();
+    p->w = static_cast<std::int32_t>(rng_.NextU64(s.warehouses));
+    p->d = static_cast<std::int32_t>(rng_.NextU64(s.districts_per_warehouse));
+    // Paper / spec: 15% of Payments pay for a customer of another warehouse.
+    if (s.warehouses > 1 && rng_.Percent(15)) {
+      do {
+        p->c_w = static_cast<std::int32_t>(rng_.NextU64(s.warehouses));
+      } while (p->c_w == p->w);
+      p->c_d = static_cast<std::int32_t>(
+          rng_.NextU64(s.districts_per_warehouse));
+    } else {
+      p->c_w = p->w;
+      p->c_d = p->d;
+    }
+    // 60% select the customer by last name (secondary index + OLLP).
+    p->by_last_name = rng_.Percent(60) ? 1 : 0;
+    const int effective_names =
+        std::min(s.last_names, s.customers_per_district);
+    if (p->by_last_name) {
+      p->c = -1;
+      p->name_code = static_cast<std::int32_t>(
+          NuRand(&rng_, 255, 0, effective_names - 1, 201) % effective_names);
+    } else {
+      p->c = static_cast<std::int32_t>(
+          NuRand(&rng_, 1023, 0, s.customers_per_district - 1, 123) %
+          s.customers_per_district);
+      p->name_code = -1;
+    }
+    p->amount_cents = static_cast<std::int64_t>(rng_.NextInRange(100, 500000));
+    p->resolved_c_key = 0;
+  }
+
+  void FillOrderStatus(txn::Txn* t) {
+    const TpccScale& s = aux_->scale;
+    t->logic = logic_.order_status;
+    OrderStatusParams* p = t->Params<OrderStatusParams>();
+    p->w = static_cast<std::int32_t>(rng_.NextU64(s.warehouses));
+    p->d = static_cast<std::int32_t>(rng_.NextU64(s.districts_per_warehouse));
+    p->by_last_name = rng_.Percent(60) ? 1 : 0;
+    const int effective_names =
+        std::min(s.last_names, s.customers_per_district);
+    if (p->by_last_name) {
+      p->c = -1;
+      p->name_code = static_cast<std::int32_t>(
+          NuRand(&rng_, 255, 0, effective_names - 1, 201) % effective_names);
+    } else {
+      p->c = static_cast<std::int32_t>(
+          NuRand(&rng_, 1023, 0, s.customers_per_district - 1, 123) %
+          s.customers_per_district);
+      p->name_code = -1;
+    }
+    p->resolved_c_key = 0;
+  }
+
+  void FillDelivery(txn::Txn* t) {
+    const TpccScale& s = aux_->scale;
+    t->logic = logic_.delivery;
+    DeliveryParams* p = t->Params<DeliveryParams>();
+    p->w = static_cast<std::int32_t>(rng_.NextU64(s.warehouses));
+    p->carrier = static_cast<std::int32_t>(rng_.NextInRange(1, 10));
+  }
+
+  void FillStockLevel(txn::Txn* t) {
+    const TpccScale& s = aux_->scale;
+    t->logic = logic_.stock_level;
+    StockLevelParams* p = t->Params<StockLevelParams>();
+    p->w = static_cast<std::int32_t>(rng_.NextU64(s.warehouses));
+    p->d = static_cast<std::int32_t>(rng_.NextU64(s.districts_per_warehouse));
+    p->threshold = static_cast<std::uint32_t>(rng_.NextInRange(10, 20));
+  }
+
+  const TpccAux* aux_;
+  LogicSet logic_;
+  Rng rng_;
+};
+
+// ------------------------------------------------------------- workload
+
+TpccWorkload::TpccWorkload(TpccScale scale) {
+  const TpccMix& m = scale.mix;
+  ORTHRUS_CHECK_MSG(m.new_order + m.payment + m.order_status + m.delivery +
+                            m.stock_level ==
+                        100,
+                    "TPC-C mix must sum to 100%");
+  aux_ = std::make_unique<TpccAux>();
+  aux_->scale = scale;
+  new_order_logic_ = MakeNewOrderLogic(aux_.get());
+  payment_logic_ = MakePaymentLogic(aux_.get());
+  order_status_logic_ = MakeOrderStatusLogic(aux_.get());
+  delivery_logic_ = MakeDeliveryLogic(aux_.get());
+  stock_level_logic_ = MakeStockLevelLogic(aux_.get());
+}
+
+TpccWorkload::~TpccWorkload() = default;
+
+std::string TpccWorkload::name() const {
+  return "tpcc-w" + std::to_string(aux_->scale.warehouses);
+}
+
+void TpccWorkload::Load(storage::Database* db, int num_table_partitions) {
+  LoadTpccDatabase(db, aux_.get(), num_table_partitions);
+}
+
+std::unique_ptr<TxnSource> TpccWorkload::MakeSource(int worker_id) const {
+  Source::LogicSet logic{new_order_logic_.get(), payment_logic_.get(),
+                         order_status_logic_.get(), delivery_logic_.get(),
+                         stock_level_logic_.get()};
+  return std::make_unique<Source>(aux_.get(), logic, worker_id);
+}
+
+// ---------------------------------------------------------- consistency
+
+std::uint64_t TpccWorkload::TotalWarehouseYtd(
+    const storage::Database& db) const {
+  const storage::Table* t = db.GetTable(kWarehouse);
+  std::uint64_t sum = 0;
+  for (std::uint64_t s = 0; s < t->size(); ++s) {
+    sum += static_cast<const WarehouseRow*>(t->RowBySlot(s))->ytd_cents;
+  }
+  return sum;
+}
+
+std::uint64_t TpccWorkload::TotalOrdersPlaced(
+    const storage::Database& db) const {
+  const storage::Table* t = db.GetTable(kDistrict);
+  std::uint64_t sum = 0;
+  for (std::uint64_t s = 0; s < t->size(); ++s) {
+    sum += static_cast<const DistrictRow*>(t->RowBySlot(s))->next_o_id - 1;
+  }
+  return sum;
+}
+
+std::int64_t TpccWorkload::TotalCustomerBalance(
+    const storage::Database& db) const {
+  const storage::Table* t = db.GetTable(kCustomer);
+  std::int64_t sum = 0;
+  for (std::uint64_t s = 0; s < t->size(); ++s) {
+    sum += static_cast<const CustomerRow*>(t->RowBySlot(s))->balance_cents;
+  }
+  return sum;
+}
+
+std::uint64_t TpccWorkload::TotalStockYtd(const storage::Database& db) const {
+  const storage::Table* t = db.GetTable(kStock);
+  std::uint64_t sum = 0;
+  for (std::uint64_t s = 0; s < t->size(); ++s) {
+    sum += static_cast<const StockRow*>(t->RowBySlot(s))->ytd;
+  }
+  return sum;
+}
+
+std::uint64_t TpccWorkload::TotalOrdersDelivered(
+    const storage::Database& db) const {
+  const storage::Table* t = db.GetTable(kDistrict);
+  std::uint64_t sum = 0;
+  for (std::uint64_t s = 0; s < t->size(); ++s) {
+    sum +=
+        static_cast<const DistrictRow*>(t->RowBySlot(s))->delivered_o_id - 1;
+  }
+  return sum;
+}
+
+}  // namespace orthrus::workload::tpcc

@@ -1,0 +1,37 @@
+#include "workload/ycsb.h"
+
+namespace orthrus::workload {
+
+KvConfig MakeYcsbConfig(const YcsbSpec& spec) {
+  KvConfig c;
+  c.num_records = spec.num_records;
+  c.row_bytes = spec.row_bytes;
+  c.ops_per_txn = 10;
+  c.read_only = spec.op == YcsbOp::kReadOnly;
+  c.hot_records = spec.contention == YcsbContention::kHigh ? spec.hot_records
+                                                           : 0;
+  c.hot_ops = 2;
+  c.num_partitions = spec.num_partitions;
+  c.local_affinity = spec.local_affinity;
+  c.seed = spec.seed;
+  switch (spec.placement) {
+    case YcsbPlacement::kSingle:
+      c.placement = KvConfig::Placement::kFixedCount;
+      c.partitions_per_txn = 1;
+      break;
+    case YcsbPlacement::kDual:
+      c.placement = KvConfig::Placement::kFixedCount;
+      c.partitions_per_txn = 2;
+      break;
+    case YcsbPlacement::kRandom:
+      c.placement = KvConfig::Placement::kUniform;
+      break;
+  }
+  return c;
+}
+
+std::unique_ptr<KvWorkload> MakeYcsbWorkload(const YcsbSpec& spec) {
+  return std::make_unique<KvWorkload>(MakeYcsbConfig(spec));
+}
+
+}  // namespace orthrus::workload

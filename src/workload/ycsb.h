@@ -1,0 +1,39 @@
+// Named YCSB configurations from the paper's appendix (Figures 11 and 12):
+// 10-operation transactions over a single 10M x 1000B table (scaled down by
+// default; see DESIGN.md), read-only or read-modify-write, under low
+// contention (all keys uniform) or high contention (2 keys from a 64-record
+// hot set, acquired first). ORTHRUS placement variants: single partition,
+// dual partition, or random.
+#ifndef ORTHRUS_WORKLOAD_YCSB_H_
+#define ORTHRUS_WORKLOAD_YCSB_H_
+
+#include <memory>
+
+#include "workload/micro.h"
+
+namespace orthrus::workload {
+
+enum class YcsbContention { kLow, kHigh };
+enum class YcsbOp { kReadOnly, kRmw };
+enum class YcsbPlacement { kSingle, kDual, kRandom };
+
+struct YcsbSpec {
+  YcsbContention contention = YcsbContention::kLow;
+  YcsbOp op = YcsbOp::kRmw;
+  YcsbPlacement placement = YcsbPlacement::kRandom;
+  int num_partitions = 1;        // the engine's partition universe
+  bool local_affinity = false;   // H-Store-style home-partition execution
+  std::uint64_t num_records = 100000;
+  std::uint32_t row_bytes = 100;
+  std::uint64_t hot_records = 64;  // paper's appendix setting
+  std::uint64_t seed = 42;
+};
+
+// Materializes the KvConfig for a YCSB spec.
+KvConfig MakeYcsbConfig(const YcsbSpec& spec);
+
+std::unique_ptr<KvWorkload> MakeYcsbWorkload(const YcsbSpec& spec);
+
+}  // namespace orthrus::workload
+
+#endif  // ORTHRUS_WORKLOAD_YCSB_H_

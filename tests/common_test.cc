@@ -1,0 +1,255 @@
+// Unit tests for common utilities: RNG, Zipfian, NURand, bitset, histogram,
+// stats breakdown.
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bitset128.h"
+#include "common/histogram.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace orthrus {
+namespace {
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedRemapped) {
+  Rng z(0);
+  EXPECT_NE(z.Next(), 0u);  // state must not be stuck at zero
+}
+
+TEST(Rng, NextU64RespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextU64(bound), bound);
+  }
+}
+
+TEST(Rng, NextU64CoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.NextU64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = r.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, PercentFrequency) {
+  Rng r(17);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += r.Percent(30);
+  EXPECT_NEAR(hits / static_cast<double>(kN), 0.30, 0.02);
+}
+
+TEST(Zipfian, SkewsTowardLowValues) {
+  Rng r(19);
+  ZipfianGenerator zipf(1000, 0.9);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.Next(&r)]++;
+  // Rank 0 must be far hotter than rank 100.
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[100]));
+}
+
+TEST(Zipfian, RespectsDomain) {
+  Rng r(23);
+  ZipfianGenerator zipf(100, 0.5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&r), 100u);
+}
+
+TEST(Zipfian, ThetaZeroIsRoughlyUniform) {
+  Rng r(29);
+  ZipfianGenerator zipf(10, 0.0);
+  std::map<std::uint64_t, int> counts;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[zipf.Next(&r)]++;
+  for (auto& [v, c] : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kN), 0.1, 0.03);
+  }
+}
+
+TEST(NuRand, InRange) {
+  Rng r(31);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t v = NuRand(&r, 255, 10, 50, 7);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+// ------------------------------------------------------------- Bitset128
+
+TEST(Bitset128, SetTestClear) {
+  Bitset128 b;
+  EXPECT_TRUE(b.Empty());
+  for (int bit : {0, 1, 63, 64, 65, 127}) {
+    b.Set(bit);
+    EXPECT_TRUE(b.Test(bit));
+  }
+  EXPECT_EQ(b.Count(), 6);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 5);
+}
+
+TEST(Bitset128, UnionMerges) {
+  Bitset128 a = Bitset128::Single(3);
+  Bitset128 b = Bitset128::Single(100);
+  a.Union(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(100));
+  EXPECT_EQ(a.Count(), 2);
+}
+
+TEST(Bitset128, AnyOtherThan) {
+  Bitset128 b = Bitset128::Single(5);
+  EXPECT_FALSE(b.AnyOtherThan(5));
+  b.Set(77);
+  EXPECT_TRUE(b.AnyOtherThan(5));
+  EXPECT_TRUE(b.AnyOtherThan(77));
+}
+
+TEST(Bitset128, EqualityAndReset) {
+  Bitset128 a = Bitset128::Single(9);
+  Bitset128 b = Bitset128::Single(9);
+  EXPECT_TRUE(a == b);
+  a.Reset();
+  EXPECT_TRUE(a.Empty());
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  for (std::uint64_t v : {5ull, 10ull, 1000ull}) h.Record(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1015u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 1015.0 / 3, 1e-9);
+}
+
+TEST(Histogram, PercentileApproximation) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  // Log-bucketed: allow 25% relative error.
+  EXPECT_NEAR(h.Percentile(0.5), 500, 130);
+  EXPECT_NEAR(h.Percentile(0.99), 990, 260);
+  EXPECT_EQ(h.Percentile(1.0), 1000u);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 30u);
+  EXPECT_EQ(a.max(), 20u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(Histogram, ZeroAndHugeValues) {
+  Histogram h;
+  h.Record(0);
+  h.Record(~0ull);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(WorkerStats, MergeAddsEverything) {
+  WorkerStats a, b;
+  a.committed = 3;
+  a.Add(TimeCategory::kExecution, 100);
+  b.committed = 4;
+  b.aborted = 2;
+  b.Add(TimeCategory::kWaiting, 50);
+  a.Merge(b);
+  EXPECT_EQ(a.committed, 7u);
+  EXPECT_EQ(a.aborted, 2u);
+  EXPECT_EQ(a.Get(TimeCategory::kExecution), 100u);
+  EXPECT_EQ(a.Get(TimeCategory::kWaiting), 50u);
+}
+
+TEST(RunResult, ThroughputAndFractions) {
+  RunResult r;
+  r.total.committed = 1000;
+  r.elapsed_seconds = 0.5;
+  r.total.Add(TimeCategory::kExecution, 25);
+  r.total.Add(TimeCategory::kLocking, 25);
+  r.total.Add(TimeCategory::kWaiting, 50);
+  EXPECT_DOUBLE_EQ(r.Throughput(), 2000.0);
+  EXPECT_DOUBLE_EQ(r.TimeFraction(TimeCategory::kWaiting), 0.5);
+  EXPECT_DOUBLE_EQ(r.TimeFraction(TimeCategory::kExecution), 0.25);
+}
+
+TEST(RunResult, AbortRate) {
+  RunResult r;
+  r.total.committed = 75;
+  r.total.aborted = 25;
+  EXPECT_DOUBLE_EQ(r.AbortRate(), 0.25);
+}
+
+// ----------------------------------------------------------------- Macros
+
+TEST(Macros, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(64), 64u);
+  EXPECT_EQ(NextPowerOfTwo(65), 128u);
+}
+
+}  // namespace
+}  // namespace orthrus

@@ -1,0 +1,182 @@
+// Focused tests for the simulator's cost-model mechanisms added during
+// calibration: the store-buffer (store vs RMW) distinction, the finite
+// interconnect, ticket-lock fairness under storms, and jitter determinism.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hal/sim_platform.h"
+
+namespace orthrus::hal {
+namespace {
+
+TEST(StoreBuffer, StoresAreCheapForTheWriter) {
+  // A core storing to a line owned elsewhere must not stall for the full
+  // transfer latency (the store buffer absorbs it); an RMW must.
+  SimConfig cfg;
+  SimPlatform sim(2, cfg);
+  Atomic<std::uint64_t> line;
+  Cycles store_cost = 0, rmw_cost = 0;
+  sim.Spawn(0, [&] { line.store(1); });  // take ownership at t=0
+  sim.Spawn(1, [&] {
+    ConsumeCycles(50000);
+    Cycles t0 = Now();
+    line.store(2);  // remote store: store-buffer cost only
+    store_cost = Now() - t0;
+    ConsumeCycles(50000);
+    t0 = Now();
+    line.fetch_add(1);  // remote RMW after owner change: full cost
+    rmw_cost = Now() - t0;
+  });
+  sim.Run();
+  EXPECT_LE(store_cost, cfg.store_buffer_cycles + 2);
+  EXPECT_GE(rmw_cost, 1u);  // rmw on own line after the store is local
+}
+
+TEST(StoreBuffer, StoreStillOccupiesTheLine) {
+  // A store's coherence transaction occupies the line: an immediately
+  // following reader from another core waits out the store service window.
+  SimConfig cfg;
+  SimPlatform sim(2, cfg);
+  Atomic<std::uint64_t> line;
+  Cycles read_cost = 0;
+  sim.Spawn(0, [&] {
+    ConsumeCycles(1000);
+    line.store(7);  // at t=1000 (+store service on the line)
+  });
+  sim.Spawn(1, [&] {
+    ConsumeCycles(1002);  // arrive just after the store begins
+    Cycles t0 = Now();
+    (void)line.load();
+    read_cost = Now() - t0;
+  });
+  sim.Run();
+  // Remote transfer plus (most of) the store's line-service window.
+  EXPECT_GE(read_cost, cfg.remote_transfer_cycles);
+}
+
+TEST(Interconnect, RemoteTrafficQueuesAtHighRates) {
+  // Many cores each hammering a *different* line still share the fabric:
+  // with enough cores the aggregate transfer rate saturates and per-op
+  // latency inflates (Figure 1's flattening mechanism).
+  SimConfig cfg;
+  auto run = [&](int cores) {
+    SimPlatform sim(cores, cfg);
+    std::vector<std::unique_ptr<Atomic<std::uint64_t>>> lines;
+    std::vector<std::unique_ptr<Atomic<std::uint64_t>>> partners;
+    for (int i = 0; i < cores; ++i) {
+      lines.push_back(std::make_unique<Atomic<std::uint64_t>>());
+      partners.push_back(std::make_unique<Atomic<std::uint64_t>>());
+    }
+    constexpr int kOps = 100;
+    for (int i = 0; i < cores; ++i) {
+      // Each core ping-pongs ownership with a phantom second writer by
+      // alternating two lines it does not keep exclusive: force remote
+      // transfers by having neighbouring cores share pairwise lines.
+      sim.Spawn(i, [&, i] {
+        Atomic<std::uint64_t>* a = lines[i].get();
+        Atomic<std::uint64_t>* b = lines[(i + 1) % cores].get();
+        for (int k = 0; k < kOps; ++k) {
+          a->fetch_add(1);
+          b->fetch_add(1);
+        }
+      });
+    }
+    sim.Run();
+    return static_cast<double>(sim.GlobalClock()) / kOps;
+  };
+  // Per-op time per core must grow markedly from 8 to 96 cores (fabric
+  // queueing), not stay flat.
+  EXPECT_GT(run(96), run(8) * 1.5);
+}
+
+TEST(TicketLock, FifoHandoffUnderStorm) {
+  // One "victim" core competes for a latch against many cores that acquire
+  // it in a tight loop. With a fair (ticket) latch the victim's single
+  // acquisition must complete promptly — bounded by roughly one queue
+  // round — rather than being starved indefinitely.
+  constexpr int kCores = 16;
+  SimPlatform sim(kCores);
+  SpinLock latch;
+  Cycles victim_wait = 0;
+  bool victim_done = false;
+  for (int i = 0; i < kCores - 1; ++i) {
+    sim.Spawn(i, [&] {
+      for (int k = 0; k < 400 && !victim_done; ++k) {
+        latch.Lock();
+        ConsumeCycles(60);
+        latch.Unlock();
+      }
+    });
+  }
+  sim.Spawn(kCores - 1, [&] {
+    ConsumeCycles(5000);  // join mid-storm
+    const Cycles t0 = Now();
+    latch.Lock();
+    victim_wait = Now() - t0;
+    latch.Unlock();
+    victim_done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(victim_done);
+  // FIFO bound: at most ~one critical section per competitor ahead of us,
+  // plus handoff overheads. Generous envelope; an unfair latch would show
+  // orders of magnitude more (or never finish).
+  EXPECT_LT(victim_wait, 200000u);
+}
+
+TEST(Jitter, DeterministicPerCoreAndBounded) {
+  SimPlatform sim(2);
+  std::vector<Cycles> a, b;
+  sim.Spawn(0, [&] {
+    for (int i = 0; i < 100; ++i) a.push_back(FastJitter(64));
+  });
+  sim.Spawn(1, [&] {
+    for (int i = 0; i < 100; ++i) b.push_back(FastJitter(64));
+  });
+  sim.Run();
+  for (Cycles v : a) EXPECT_LT(v, 64u);
+  ASSERT_EQ(a.size(), b.size());
+  // Different cores draw different sequences (seeded by core id).
+  EXPECT_NE(a, b);
+
+  // And a re-run reproduces the same sequences exactly.
+  SimPlatform sim2(2);
+  std::vector<Cycles> a2;
+  sim2.Spawn(0, [&] {
+    for (int i = 0; i < 100; ++i) a2.push_back(FastJitter(64));
+  });
+  sim2.Spawn(1, [] {});
+  sim2.Run();
+  EXPECT_EQ(a, a2);
+}
+
+TEST(Jitter, ZeroBoundAndOffCore) {
+  EXPECT_EQ(FastJitter(16), 0u);  // not on a core: no jitter state
+  SimPlatform sim(1);
+  Cycles v = 1;
+  sim.Spawn(0, [&] { v = FastJitter(0); });
+  sim.Run();
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(SimStats, CountersDistinguishOps) {
+  SimPlatform sim(1);
+  Atomic<std::uint64_t> x;
+  sim.Spawn(0, [&] {
+    (void)x.load();
+    x.store(1);
+    x.fetch_add(1);
+    std::uint64_t expected = 2;
+    (void)x.compare_exchange(expected, 3);
+    (void)x.exchange(4);
+  });
+  sim.Run();
+  EXPECT_EQ(sim.stats().atomic_reads, 1u);
+  EXPECT_EQ(sim.stats().atomic_stores, 1u);
+  EXPECT_EQ(sim.stats().atomic_rmws, 3u);
+}
+
+}  // namespace
+}  // namespace orthrus::hal

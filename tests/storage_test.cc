@@ -1,0 +1,174 @@
+// Tests for the storage layer: tables, hash index, split indexes, reserved
+// slots, secondary index, database catalog, cost model.
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/secondary_index.h"
+#include "storage/table.h"
+
+namespace orthrus::storage {
+namespace {
+
+TEST(Table, InsertAndLookup) {
+  Table t(0, "t", 100, 16);
+  std::uint64_t* row = static_cast<std::uint64_t*>(t.Insert(42));
+  *row = 7;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.LookupRaw(42), row);
+  EXPECT_EQ(*static_cast<std::uint64_t*>(t.LookupRaw(42)), 7u);
+}
+
+TEST(Table, LookupMissingReturnsNull) {
+  Table t(0, "t", 10, 16);
+  t.Insert(1);
+  EXPECT_EQ(t.LookupRaw(2), nullptr);
+}
+
+TEST(Table, ManyKeysWithCollisions) {
+  // Dense sequential keys force probe chains in the open-addressed index.
+  Table t(0, "t", 5000, 16);
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    *static_cast<std::uint64_t*>(t.Insert(k)) = k * 3;
+  }
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_NE(t.LookupRaw(k), nullptr) << k;
+    EXPECT_EQ(*static_cast<std::uint64_t*>(t.LookupRaw(k)), k * 3);
+  }
+}
+
+TEST(Table, DuplicateKeyDies) {
+  Table t(0, "t", 10, 16);
+  t.Insert(5);
+  EXPECT_DEATH(t.Insert(5), "duplicate");
+}
+
+TEST(Table, CapacityOverflowDies) {
+  Table t(0, "t", 2, 16);
+  t.Insert(1);
+  t.Insert(2);
+  EXPECT_DEATH(t.Insert(3), "full");
+}
+
+TEST(Table, SplitIndexRouting) {
+  Table t(0, "t", 100, 16, /*num_partitions=*/4);
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    t.Insert(k, static_cast<int>(k % 4));
+  }
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    EXPECT_NE(t.LookupRaw(k, static_cast<int>(k % 4)), nullptr);
+    // Wrong partition must miss: split indexes are disjoint.
+    EXPECT_EQ(t.LookupRaw(k, static_cast<int>((k + 1) % 4)), nullptr);
+  }
+}
+
+TEST(Table, SplitIndexProbeIsCheaperForLargeTables) {
+  // A 1M-row index blows the modeled cache; a 16-way split index does not.
+  Table big(0, "big", 1 << 20, 16, 1);
+  Table split(1, "split", 1 << 20, 16, 16);
+  EXPECT_GT(big.ProbeCost(), split.ProbeCost());
+}
+
+TEST(Table, RowAccessCostScalesWithRowBytes) {
+  Table thin(0, "thin", 10, 64);
+  Table fat(1, "fat", 10, 1000);
+  EXPECT_GT(fat.RowAccessCost(), thin.RowAccessCost());
+}
+
+TEST(Table, ReserveSlotsDisjointFromInserts) {
+  Table t(0, "t", 100, 16);
+  const std::uint64_t base = t.ReserveSlots(10);
+  EXPECT_EQ(base, 90u);
+  for (int i = 0; i < 80; ++i) t.Insert(i);
+  // Reserved slots live at the top of the slab; inserted rows at the
+  // bottom. Writing both must not interfere.
+  *static_cast<std::uint64_t*>(t.RowBySlot(base)) = 0xDEAD;
+  EXPECT_NE(t.LookupRaw(0), t.RowBySlot(base));
+}
+
+TEST(Table, ReserveOverflowDies) {
+  Table t(0, "t", 10, 16);
+  t.ReserveSlots(10);
+  EXPECT_DEATH(t.ReserveSlots(1), "exceeds");
+}
+
+TEST(StorageCost, ProbeCostGrowsWithIndexSize) {
+  StorageCostModel m;
+  EXPECT_EQ(m.ProbeCost(1024), m.probe_base_cycles);
+  EXPECT_GT(m.ProbeCost(64ull << 20), m.ProbeCost(2ull << 20));
+}
+
+TEST(Database, CatalogRoundTrip) {
+  Database db;
+  Table* a = db.CreateTable(0, "a", 10, 16);
+  Table* b = db.CreateTable(1, "b", 10, 16);
+  EXPECT_EQ(db.GetTable(0), a);
+  EXPECT_EQ(db.GetTable(1), b);
+  EXPECT_EQ(db.num_tables(), 2u);
+}
+
+TEST(Database, NonDenseTableIdDies) {
+  Database db;
+  db.CreateTable(0, "a", 10, 16);
+  EXPECT_DEATH(db.CreateTable(5, "b", 10, 16), "dense");
+}
+
+TEST(Partitioner, ModuloMode) {
+  Partitioner p{4, Partitioner::Mode::kModulo};
+  EXPECT_EQ(p.PartOf(0), 0);
+  EXPECT_EQ(p.PartOf(5), 1);
+  EXPECT_EQ(p.PartOf(7), 3);
+}
+
+TEST(Partitioner, WarehouseMode) {
+  Partitioner p{4, Partitioner::Mode::kWarehouseHigh32};
+  const std::uint64_t key_w5 = (5ull << 32) | 1234;
+  EXPECT_EQ(p.PartOf(key_w5), 1);  // 5 % 4
+  const std::uint64_t key_w8 = (8ull << 32) | 99;
+  EXPECT_EQ(p.PartOf(key_w8), 0);
+}
+
+// --------------------------------------------------------- SecondaryIndex
+
+TEST(SecondaryIndex, PostingListsSortedAndComplete) {
+  SecondaryIndex idx;
+  idx.Add(7, 30);
+  idx.Add(7, 10);
+  idx.Add(7, 20);
+  idx.Add(9, 5);
+  idx.Finalize();
+  const auto& postings = idx.Lookup(7);
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0], 10u);
+  EXPECT_EQ(postings[1], 20u);
+  EXPECT_EQ(postings[2], 30u);
+  EXPECT_EQ(idx.Lookup(9).size(), 1u);
+  EXPECT_TRUE(idx.Lookup(999).empty());
+}
+
+TEST(SecondaryIndex, MidpointRule) {
+  SecondaryIndex idx;
+  // TPC-C: position ceil(n/2), 1-based.
+  idx.Add(1, 10);
+  idx.Add(1, 20);
+  idx.Add(1, 30);  // n=3 -> position 2 -> 20
+  idx.Add(2, 10);
+  idx.Add(2, 20);  // n=2 -> position 1 -> 10
+  idx.Add(3, 42);  // n=1 -> 42
+  idx.Finalize();
+  EXPECT_EQ(idx.LookupMidpoint(1), 20u);
+  EXPECT_EQ(idx.LookupMidpoint(2), 10u);
+  EXPECT_EQ(idx.LookupMidpoint(3), 42u);
+  EXPECT_EQ(idx.LookupMidpoint(99), SecondaryIndex::kNoMatch);
+}
+
+TEST(SecondaryIndex, OverrideForTestChangesMidpoint) {
+  SecondaryIndex idx;
+  idx.Add(1, 10);
+  idx.Finalize();
+  EXPECT_EQ(idx.LookupMidpoint(1), 10u);
+  idx.OverrideForTest(1, {77, 88, 99});
+  EXPECT_EQ(idx.LookupMidpoint(1), 88u);
+}
+
+}  // namespace
+}  // namespace orthrus::storage

@@ -1,0 +1,159 @@
+// Tests for the transaction layer: access sets, parameter storage, row
+// lookup by identity, OLLP planning and replan bookkeeping.
+#include <gtest/gtest.h>
+
+#include "txn/ollp.h"
+#include "txn/txn.h"
+
+namespace orthrus::txn {
+namespace {
+
+struct FakeParams {
+  int n = 0;
+  std::uint64_t keys[4];
+};
+
+// Logic whose access set can be made data-dependent for OLLP tests.
+class FakeLogic : public TxnLogic {
+ public:
+  void BuildAccessSet(Txn* t, storage::Database* db) override {
+    build_calls++;
+    const FakeParams* p = t->Params<FakeParams>();
+    for (int i = 0; i < p->n; ++i) {
+      t->accesses.push_back(
+          {0, LockMode::kExclusive, p->keys[i] + key_shift, nullptr});
+    }
+  }
+  bool NeedsReconnaissance() const override { return true; }
+  bool Run(Txn* t, const ExecContext& ctx) override { return run_ok; }
+
+  int build_calls = 0;
+  std::uint64_t key_shift = 0;  // simulates a moving data-dependent target
+  bool run_ok = true;
+};
+
+TEST(Txn, ParamsRoundTrip) {
+  Txn t;
+  FakeParams* p = t.Params<FakeParams>();
+  p->n = 2;
+  p->keys[0] = 11;
+  p->keys[1] = 22;
+  const FakeParams* q = static_cast<const Txn&>(t).Params<FakeParams>();
+  EXPECT_EQ(q->keys[1], 22u);
+}
+
+TEST(Txn, RowForFindsByIdentity) {
+  Txn t;
+  int a = 0, b = 0;
+  t.accesses.push_back({1, LockMode::kShared, 100, &a});
+  t.accesses.push_back({2, LockMode::kExclusive, 100, &b});
+  EXPECT_EQ(t.RowFor(1, 100), &a);
+  EXPECT_EQ(t.RowFor(2, 100), &b);
+  EXPECT_EQ(t.RowFor(3, 100), nullptr);
+}
+
+TEST(Txn, ResetClearsState) {
+  Txn t;
+  t.accesses.push_back({1, LockMode::kShared, 1, nullptr});
+  t.timestamp = 5;
+  t.restarts = 3;
+  t.ResetForReuse();
+  EXPECT_TRUE(t.accesses.empty());
+  EXPECT_EQ(t.timestamp, 0u);
+  EXPECT_EQ(t.restarts, 0u);
+}
+
+TEST(AccessKeyOrder, SortsByTableThenKey) {
+  std::vector<Access> v = {
+      {2, LockMode::kShared, 1, nullptr},
+      {1, LockMode::kShared, 9, nullptr},
+      {1, LockMode::kShared, 3, nullptr},
+  };
+  std::sort(v.begin(), v.end(), AccessKeyOrder());
+  EXPECT_EQ(v[0].table, 1u);
+  EXPECT_EQ(v[0].key, 3u);
+  EXPECT_EQ(v[1].key, 9u);
+  EXPECT_EQ(v[2].table, 2u);
+}
+
+TEST(LockModeConflicts, CompatibilityMatrix) {
+  EXPECT_FALSE(Conflicts(LockMode::kShared, LockMode::kShared));
+  EXPECT_TRUE(Conflicts(LockMode::kShared, LockMode::kExclusive));
+  EXPECT_TRUE(Conflicts(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_TRUE(Conflicts(LockMode::kExclusive, LockMode::kExclusive));
+}
+
+TEST(Ollp, PlanBuildsAccessSet) {
+  Txn t;
+  FakeLogic logic;
+  FakeParams* p = t.Params<FakeParams>();
+  p->n = 2;
+  p->keys[0] = 5;
+  p->keys[1] = 6;
+  t.logic = &logic;
+  storage::Database db;
+  OllpPlan(&t, &db);
+  EXPECT_EQ(t.accesses.size(), 2u);
+  EXPECT_EQ(logic.build_calls, 1);
+}
+
+TEST(Ollp, PlanClearsPreviousAccesses) {
+  Txn t;
+  FakeLogic logic;
+  t.Params<FakeParams>()->n = 1;
+  t.Params<FakeParams>()->keys[0] = 5;
+  t.logic = &logic;
+  storage::Database db;
+  OllpPlan(&t, &db);
+  OllpPlan(&t, &db);  // replanning must not duplicate entries
+  EXPECT_EQ(t.accesses.size(), 1u);
+}
+
+TEST(Ollp, ReplanPicksUpMovedEstimate) {
+  Txn t;
+  FakeLogic logic;
+  t.Params<FakeParams>()->n = 1;
+  t.Params<FakeParams>()->keys[0] = 10;
+  t.logic = &logic;
+  storage::Database db;
+  WorkerStats stats;
+  OllpPlan(&t, &db);
+  EXPECT_EQ(t.accesses[0].key, 10u);
+  logic.key_shift = 7;  // the data-dependent target moved
+  EXPECT_TRUE(OllpReplanAfterMismatch(&t, &db, &stats));
+  EXPECT_EQ(t.accesses[0].key, 17u);
+  EXPECT_EQ(stats.ollp_aborts, 1u);
+  EXPECT_EQ(t.restarts, 1u);
+}
+
+TEST(Ollp, RetryBudgetExhausts) {
+  Txn t;
+  FakeLogic logic;
+  t.Params<FakeParams>()->n = 1;
+  t.Params<FakeParams>()->keys[0] = 1;
+  t.logic = &logic;
+  storage::Database db;
+  WorkerStats stats;
+  OllpPlan(&t, &db);
+  bool allowed = true;
+  for (std::uint32_t i = 0; i <= kMaxOllpRetries + 1 && allowed; ++i) {
+    allowed = OllpReplanAfterMismatch(&t, &db, &stats);
+  }
+  EXPECT_FALSE(allowed);
+  EXPECT_GT(stats.ollp_aborts, kMaxOllpRetries);
+}
+
+TEST(TxnLogic, DefaultOpCostUsesTableCosts) {
+  storage::Database db;
+  db.CreateTable(0, "t", 10, 256);
+  Txn t;
+  FakeLogic logic;
+  t.accesses.push_back({0, LockMode::kShared, 1, nullptr});
+  const hal::Cycles cost = logic.OpCost(&t, 0, &db);
+  const storage::Table* table = db.GetTable(0);
+  EXPECT_EQ(cost,
+            table->RowAccessCost() + table->cost_model().op_compute_cycles);
+}
+
+}  // namespace
+}  // namespace orthrus::txn

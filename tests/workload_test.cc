@@ -1,0 +1,590 @@
+// Tests for the workload generators: key distribution guarantees of the KV
+// generator (distinctness, hot/cold split, partition targeting), YCSB spec
+// materialization, TPC-C generation rules and loader integrity.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "txn/ollp.h"
+#include "workload/micro.h"
+#include "workload/tpcc/tpcc_workload.h"
+#include "workload/ycsb.h"
+
+namespace orthrus::workload {
+namespace {
+
+KvConfig BaseKv() {
+  KvConfig c;
+  c.num_records = 10000;
+  c.ops_per_txn = 10;
+  return c;
+}
+
+TEST(KvWorkload, KeysAreDistinctWithinTxn) {
+  KvWorkload wl(BaseKv());
+  auto src = wl.MakeSource(0);
+  txn::Txn t;
+  storage::Database db;
+  wl.Load(&db, 1);
+  for (int i = 0; i < 200; ++i) {
+    src->Next(&t);
+    txn::OllpPlan(&t, &db);
+    std::set<std::uint64_t> keys;
+    for (const auto& a : t.accesses) keys.insert(a.key);
+    EXPECT_EQ(keys.size(), t.accesses.size());
+  }
+}
+
+TEST(KvWorkload, HotColdSplitRespected) {
+  KvConfig c = BaseKv();
+  c.hot_records = 64;
+  c.hot_ops = 2;
+  KvWorkload wl(c);
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(1);
+  txn::Txn t;
+  for (int i = 0; i < 200; ++i) {
+    src->Next(&t);
+    txn::OllpPlan(&t, &db);
+    ASSERT_EQ(t.accesses.size(), 10u);
+    // First two accesses hot (locked first, as in the paper), rest cold.
+    EXPECT_LT(t.accesses[0].key, 64u);
+    EXPECT_LT(t.accesses[1].key, 64u);
+    for (int j = 2; j < 10; ++j) EXPECT_GE(t.accesses[j].key, 64u);
+  }
+}
+
+TEST(KvWorkload, FixedCountPlacementTouchesExactlyKPartitions) {
+  for (int k : {1, 2, 4}) {
+    KvConfig c = BaseKv();
+    c.num_partitions = 8;
+    c.placement = KvConfig::Placement::kFixedCount;
+    c.partitions_per_txn = k;
+    KvWorkload wl(c);
+    storage::Database db;
+    wl.Load(&db, 1);
+    auto src = wl.MakeSource(2);
+    txn::Txn t;
+    for (int i = 0; i < 100; ++i) {
+      src->Next(&t);
+      txn::OllpPlan(&t, &db);
+      std::set<int> parts;
+      for (const auto& a : t.accesses) {
+        parts.insert(static_cast<int>(a.key % 8));
+      }
+      EXPECT_EQ(parts.size(), static_cast<std::size_t>(k)) << "k=" << k;
+    }
+  }
+}
+
+TEST(KvWorkload, PctMultiPlacementFrequency) {
+  KvConfig c = BaseKv();
+  c.num_partitions = 8;
+  c.placement = KvConfig::Placement::kPctMulti;
+  c.pct_multi = 40;
+  KvWorkload wl(c);
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(3);
+  txn::Txn t;
+  int multi = 0;
+  const int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    src->Next(&t);
+    txn::OllpPlan(&t, &db);
+    std::set<int> parts;
+    for (const auto& a : t.accesses) parts.insert(static_cast<int>(a.key % 8));
+    EXPECT_LE(parts.size(), 2u);
+    if (parts.size() == 2) multi++;
+  }
+  EXPECT_NEAR(multi / static_cast<double>(kN), 0.40, 0.05);
+}
+
+TEST(KvWorkload, LocalAffinityPinsHomePartition) {
+  KvConfig c = BaseKv();
+  c.num_partitions = 4;
+  c.placement = KvConfig::Placement::kFixedCount;
+  c.partitions_per_txn = 1;
+  c.local_affinity = true;
+  KvWorkload wl(c);
+  storage::Database db;
+  wl.Load(&db, 1);
+  for (int worker = 0; worker < 4; ++worker) {
+    auto src = wl.MakeSource(worker);
+    txn::Txn t;
+    for (int i = 0; i < 50; ++i) {
+      src->Next(&t);
+      txn::OllpPlan(&t, &db);
+      for (const auto& a : t.accesses) {
+        EXPECT_EQ(static_cast<int>(a.key % 4), worker);
+      }
+    }
+  }
+}
+
+TEST(KvWorkload, HotKeysWithinPartitionPlacement) {
+  KvConfig c = BaseKv();
+  c.num_partitions = 8;
+  c.placement = KvConfig::Placement::kFixedCount;
+  c.partitions_per_txn = 1;
+  c.hot_records = 64;  // 8 hot keys per partition
+  KvWorkload wl(c);
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(0);
+  txn::Txn t;
+  for (int i = 0; i < 100; ++i) {
+    src->Next(&t);
+    txn::OllpPlan(&t, &db);
+    const int part = static_cast<int>(t.accesses[0].key % 8);
+    EXPECT_LT(t.accesses[0].key, 64u);
+    EXPECT_LT(t.accesses[1].key, 64u);
+    for (const auto& a : t.accesses) {
+      EXPECT_EQ(static_cast<int>(a.key % 8), part);
+    }
+  }
+}
+
+TEST(KvWorkload, ReadOnlyUsesSharedLocks) {
+  KvConfig c = BaseKv();
+  c.read_only = true;
+  KvWorkload wl(c);
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(0);
+  txn::Txn t;
+  src->Next(&t);
+  txn::OllpPlan(&t, &db);
+  for (const auto& a : t.accesses) {
+    EXPECT_EQ(a.mode, txn::LockMode::kShared);
+  }
+}
+
+TEST(KvWorkload, SourcesAreDeterministicPerWorker) {
+  KvWorkload wl(BaseKv());
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto s1 = wl.MakeSource(5);
+  auto s2 = wl.MakeSource(5);
+  txn::Txn a, b;
+  for (int i = 0; i < 20; ++i) {
+    s1->Next(&a);
+    s2->Next(&b);
+    txn::OllpPlan(&a, &db);
+    txn::OllpPlan(&b, &db);
+    ASSERT_EQ(a.accesses.size(), b.accesses.size());
+    for (std::size_t j = 0; j < a.accesses.size(); ++j) {
+      EXPECT_EQ(a.accesses[j].key, b.accesses[j].key);
+    }
+  }
+}
+
+TEST(Ycsb, SpecMaterialization) {
+  YcsbSpec spec;
+  spec.contention = YcsbContention::kHigh;
+  spec.op = YcsbOp::kReadOnly;
+  spec.placement = YcsbPlacement::kDual;
+  spec.num_partitions = 16;
+  KvConfig c = MakeYcsbConfig(spec);
+  EXPECT_TRUE(c.read_only);
+  EXPECT_EQ(c.hot_records, 64u);
+  EXPECT_EQ(c.placement, KvConfig::Placement::kFixedCount);
+  EXPECT_EQ(c.partitions_per_txn, 2);
+  EXPECT_EQ(c.num_partitions, 16);
+  EXPECT_EQ(c.ops_per_txn, 10);
+}
+
+TEST(Ycsb, LowContentionHasNoHotSet) {
+  YcsbSpec spec;
+  spec.contention = YcsbContention::kLow;
+  EXPECT_EQ(MakeYcsbConfig(spec).hot_records, 0u);
+}
+
+// ------------------------------------------------------------------ TPC-C
+
+tpcc::TpccScale TinyScale() {
+  tpcc::TpccScale s;
+  s.warehouses = 3;
+  s.customers_per_district = 30;
+  s.items = 100;
+  s.order_ring_capacity = 64;
+  return s;
+}
+
+TEST(TpccLoader, TableSizes) {
+  tpcc::TpccWorkload wl(TinyScale());
+  storage::Database db;
+  wl.Load(&db, 1);
+  EXPECT_EQ(db.GetTable(tpcc::kWarehouse)->size(), 3u);
+  EXPECT_EQ(db.GetTable(tpcc::kDistrict)->size(), 30u);
+  EXPECT_EQ(db.GetTable(tpcc::kCustomer)->size(), 900u);
+  EXPECT_EQ(db.GetTable(tpcc::kStock)->size(), 300u);
+  EXPECT_EQ(db.GetTable(tpcc::kItem)->size(), 100u);
+}
+
+TEST(TpccLoader, SecondaryIndexCoversAllCustomers) {
+  tpcc::TpccWorkload wl(TinyScale());
+  storage::Database db;
+  wl.Load(&db, 1);
+  // Every (w, d, name_code) present must resolve to a customer key that
+  // exists in the customer table.
+  std::size_t found = 0;
+  for (int w = 0; w < 3; ++w) {
+    for (int d = 0; d < 10; ++d) {
+      for (int code = 0; code < 30; ++code) {
+        const std::uint64_t key = wl.aux()->customers_by_name.LookupMidpoint(
+            tpcc::LastNameAttr(w, d, code));
+        if (key == storage::SecondaryIndex::kNoMatch) continue;
+        found++;
+        EXPECT_NE(db.GetTable(tpcc::kCustomer)->LookupRaw(key), nullptr);
+      }
+    }
+  }
+  EXPECT_EQ(found, 3u * 10 * 30);  // code = c % 30 covers all codes
+}
+
+TEST(TpccGenerator, NewOrderParamsWellFormed) {
+  tpcc::TpccWorkload wl(TinyScale());
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(0);
+  txn::Txn t;
+  int neworders = 0;
+  for (int i = 0; i < 400; ++i) {
+    src->Next(&t);
+    if (t.logic != nullptr && t.Params<tpcc::NewOrderParams>() != nullptr) {
+      txn::OllpPlan(&t, &db);
+      if (t.accesses.size() < 4) continue;  // Payment has 3 accesses
+      neworders++;
+      const auto* p = t.Params<tpcc::NewOrderParams>();
+      EXPECT_GE(p->ol_cnt, 5);
+      EXPECT_LE(p->ol_cnt, 15);
+      std::set<std::int32_t> items;
+      for (int j = 0; j < p->ol_cnt; ++j) {
+        EXPECT_GE(p->quantity[j], 1);
+        EXPECT_LE(p->quantity[j], 10);
+        EXPECT_LT(p->item_id[j], 100);
+        items.insert(p->item_id[j]);
+      }
+      EXPECT_EQ(items.size(), static_cast<std::size_t>(p->ol_cnt));
+      EXPECT_EQ(t.accesses.size(), 3u + p->ol_cnt);
+    }
+  }
+  EXPECT_GT(neworders, 100);  // ~50% of the mix
+}
+
+TEST(TpccGenerator, RemoteFractionsApproximatelyMatchSpec) {
+  tpcc::TpccScale s = TinyScale();
+  s.warehouses = 8;
+  tpcc::TpccWorkload wl(s);
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(1);
+  txn::Txn t;
+  int neworder_total = 0, neworder_remote = 0;
+  int payment_total = 0, payment_remote = 0, payment_by_name = 0;
+  for (int i = 0; i < 6000; ++i) {
+    src->Next(&t);
+    txn::OllpPlan(&t, &db);
+    if (t.accesses.size() > 3) {
+      const auto* p = t.Params<tpcc::NewOrderParams>();
+      neworder_total++;
+      bool remote = false;
+      for (int j = 0; j < p->ol_cnt; ++j) remote |= (p->supply_w[j] != p->w);
+      neworder_remote += remote;
+    } else {
+      const auto* p = t.Params<tpcc::PaymentParams>();
+      payment_total++;
+      payment_remote += (p->c_w != p->w);
+      payment_by_name += p->by_last_name;
+    }
+  }
+  EXPECT_NEAR(neworder_remote / double(neworder_total), 0.10, 0.03);
+  EXPECT_NEAR(payment_remote / double(payment_total), 0.15, 0.03);
+  EXPECT_NEAR(payment_by_name / double(payment_total), 0.60, 0.04);
+}
+
+TEST(TpccGenerator, PaymentAccessSetLocksCustomerExclusive) {
+  tpcc::TpccWorkload wl(TinyScale());
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(2);
+  txn::Txn t;
+  for (int i = 0; i < 200; ++i) {
+    src->Next(&t);
+    txn::OllpPlan(&t, &db);
+    if (t.accesses.size() == 3) {  // Payment
+      for (const auto& a : t.accesses) {
+        EXPECT_EQ(a.mode, txn::LockMode::kExclusive);
+      }
+      const auto* p = t.Params<tpcc::PaymentParams>();
+      EXPECT_NE(p->resolved_c_key, 0u);
+    }
+  }
+}
+
+TEST(TpccOllp, StaleEstimateDetectedAndReplanned) {
+  tpcc::TpccWorkload wl(TinyScale());
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto payment = tpcc::MakePaymentLogic(wl.aux());
+
+  txn::Txn t;
+  t.logic = payment.get();
+  auto* p = t.Params<tpcc::PaymentParams>();
+  p->w = 0;
+  p->d = 0;
+  p->c_w = 0;
+  p->c_d = 0;
+  p->by_last_name = 1;
+  p->name_code = 5;
+  p->amount_cents = 100;
+  txn::OllpPlan(&t, &db);
+  const std::uint64_t first = p->resolved_c_key;
+
+  // Force a stale estimate: the index now answers differently.
+  const std::uint64_t moved = tpcc::CustomerKey(0, 0, 29);
+  ASSERT_NE(moved, first);
+  wl.aux()->customers_by_name.OverrideForTest(tpcc::LastNameAttr(0, 0, 5),
+                                              {moved});
+
+  // Resolve rows as an engine would, then Run: must refuse to execute.
+  for (auto& a : t.accesses) {
+    a.row = db.GetTable(a.table)->LookupRaw(a.key);
+  }
+  txn::ExecContext ec{&db, nullptr, /*charge_cycles=*/false};
+  WorkerStats stats;
+  ec.stats = &stats;
+  EXPECT_FALSE(t.logic->Run(&t, ec));
+
+  // Replan picks up the new target and then executes cleanly.
+  EXPECT_TRUE(txn::OllpReplanAfterMismatch(&t, &db, &stats));
+  EXPECT_EQ(p->resolved_c_key, moved);
+  for (auto& a : t.accesses) {
+    a.row = db.GetTable(a.table)->LookupRaw(a.key);
+  }
+  EXPECT_TRUE(t.logic->Run(&t, ec));
+  EXPECT_EQ(stats.ollp_aborts, 1u);
+}
+
+TEST(TpccLogic, NewOrderUpdatesStockAndDistrict) {
+  tpcc::TpccWorkload wl(TinyScale());
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto neworder = tpcc::MakeNewOrderLogic(wl.aux());
+
+  txn::Txn t;
+  t.logic = neworder.get();
+  auto* p = t.Params<tpcc::NewOrderParams>();
+  p->w = 1;
+  p->d = 2;
+  p->c = 3;
+  p->ol_cnt = 5;
+  for (int j = 0; j < 5; ++j) {
+    p->item_id[j] = j * 7;
+    p->supply_w[j] = 1;
+    p->quantity[j] = 2;
+  }
+  txn::OllpPlan(&t, &db);
+  for (auto& a : t.accesses) {
+    a.row = db.GetTable(a.table)->LookupRaw(a.key);
+    ASSERT_NE(a.row, nullptr);
+  }
+  auto* dr = static_cast<tpcc::DistrictRow*>(
+      db.GetTable(tpcc::kDistrict)->LookupRaw(tpcc::DistrictKey(1, 2)));
+  const std::uint32_t o_before = dr->next_o_id;
+
+  txn::ExecContext ec{&db, nullptr, /*charge_cycles=*/false};
+  WorkerStats stats;
+  ec.stats = &stats;
+  ASSERT_TRUE(t.logic->Run(&t, ec));
+
+  EXPECT_EQ(dr->next_o_id, o_before + 1);
+  auto* sr = static_cast<tpcc::StockRow*>(
+      db.GetTable(tpcc::kStock)->LookupRaw(tpcc::StockKey(1, 0)));
+  EXPECT_EQ(sr->ytd, 2u);
+  EXPECT_EQ(sr->order_cnt, 1u);
+  // Order record landed in the district ring.
+  const auto& order =
+      wl.aux()->orders[wl.aux()->DistrictIndex(1, 2)][o_before % 64];
+  EXPECT_EQ(order.o_id, o_before);
+  EXPECT_EQ(order.ol_cnt, 5u);
+}
+
+
+// ------------------------------------------------- TPC-C full mix (ext.)
+
+using tpcc::FullTpccMix;
+using tpcc::TpccScale;
+using tpcc::TpccWorkload;
+
+TEST(TpccFullMix, MixFrequenciesMatchConfiguration) {
+  TpccScale s = TinyScale();
+  s.mix = FullTpccMix();  // 45/43/4/4/4
+  TpccWorkload wl(s);
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto src = wl.MakeSource(0);
+  txn::Txn t;
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    src->Next(&t);
+    txn::OllpPlan(&t, &db);
+    // Identify by access-set signature.
+    if (t.accesses.size() >= 8 &&
+        t.accesses[0].table == tpcc::kWarehouse &&
+        t.accesses[0].mode == txn::LockMode::kShared) {
+      counts[0]++;  // NewOrder: S(warehouse) + X(district) + ... stock
+    } else if (t.accesses.size() == 3) {
+      counts[1]++;  // Payment
+    } else if (t.accesses.size() == 2) {
+      counts[2]++;  // OrderStatus
+    } else if (t.accesses.size() >= 10 &&
+               t.accesses[0].table == tpcc::kDistrict) {
+      counts[3]++;  // Delivery (10 district X locks + customers)
+    } else {
+      counts[4]++;  // StockLevel (district S + stock S)
+    }
+  }
+  EXPECT_NEAR(counts[0] / double(kN), 0.45, 0.03);
+  EXPECT_NEAR(counts[1] / double(kN), 0.43, 0.03);
+  EXPECT_NEAR(counts[2] / double(kN), 0.04, 0.02);
+  EXPECT_NEAR(counts[3] / double(kN), 0.04, 0.02);
+  EXPECT_NEAR(counts[4] / double(kN), 0.04, 0.02);
+}
+
+TEST(TpccFullMix, InvalidMixDies) {
+  TpccScale s = TinyScale();
+  s.mix = {50, 30, 0, 0, 0};  // sums to 80
+  EXPECT_DEATH(TpccWorkload wl(s), "mix");
+}
+
+TEST(TpccDelivery, DeliversOldestOrderAndCreditsCustomer) {
+  TpccScale s = TinyScale();
+  TpccWorkload wl(s);
+  storage::Database db;
+  wl.Load(&db, 1);
+
+  // Place one order in (w=0, d=0) by hand.
+  auto neworder = tpcc::MakeNewOrderLogic(wl.aux());
+  txn::Txn t;
+  t.logic = neworder.get();
+  auto* np = t.Params<tpcc::NewOrderParams>();
+  np->w = 0;
+  np->d = 0;
+  np->c = 7;
+  np->ol_cnt = 5;
+  for (int j = 0; j < 5; ++j) {
+    np->item_id[j] = j;
+    np->supply_w[j] = 0;
+    np->quantity[j] = 3;
+  }
+  txn::OllpPlan(&t, &db);
+  for (auto& a : t.accesses) a.row = db.GetTable(a.table)->LookupRaw(a.key);
+  txn::ExecContext ec{&db, nullptr, false};
+  WorkerStats stats;
+  ec.stats = &stats;
+  ASSERT_TRUE(t.logic->Run(&t, ec));
+  const auto& order = wl.aux()->orders[wl.aux()->DistrictIndex(0, 0)][1 % 64];
+  ASSERT_EQ(order.c_id, 7u);
+
+  // Deliver warehouse 0.
+  auto delivery = tpcc::MakeDeliveryLogic(wl.aux());
+  txn::Txn d;
+  d.logic = delivery.get();
+  auto* dp = d.Params<tpcc::DeliveryParams>();
+  dp->w = 0;
+  dp->carrier = 3;
+  txn::OllpPlan(&d, &db);
+  // Exactly one district has a pending order -> 10 district X + 1 customer.
+  EXPECT_EQ(d.accesses.size(), 11u);
+  for (auto& a : d.accesses) a.row = db.GetTable(a.table)->LookupRaw(a.key);
+  ASSERT_TRUE(d.logic->Run(&d, ec));
+
+  const auto* cr = static_cast<const tpcc::CustomerRow*>(
+      db.GetTable(tpcc::kCustomer)->LookupRaw(tpcc::CustomerKey(0, 0, 7)));
+  EXPECT_EQ(cr->balance_cents,
+            static_cast<std::int64_t>(order.total_cents));
+  const auto* dr = static_cast<const tpcc::DistrictRow*>(
+      db.GetTable(tpcc::kDistrict)->LookupRaw(tpcc::DistrictKey(0, 0)));
+  EXPECT_EQ(dr->delivered_o_id, 2u);
+  EXPECT_EQ(wl.TotalOrdersDelivered(db), 1u);
+}
+
+TEST(TpccDelivery, StaleCursorDetected) {
+  TpccScale s = TinyScale();
+  TpccWorkload wl(s);
+  storage::Database db;
+  wl.Load(&db, 1);
+  auto delivery = tpcc::MakeDeliveryLogic(wl.aux());
+  txn::Txn d;
+  d.logic = delivery.get();
+  auto* dp = d.Params<tpcc::DeliveryParams>();
+  dp->w = 1;
+  dp->carrier = 1;
+  txn::OllpPlan(&d, &db);
+  // Simulate a concurrent Delivery advancing a cursor after reconnaissance.
+  auto* dr = static_cast<tpcc::DistrictRow*>(
+      db.GetTable(tpcc::kDistrict)->LookupRaw(tpcc::DistrictKey(1, 4)));
+  dr->delivered_o_id++;
+  for (auto& a : d.accesses) a.row = db.GetTable(a.table)->LookupRaw(a.key);
+  txn::ExecContext ec{&db, nullptr, false};
+  WorkerStats stats;
+  ec.stats = &stats;
+  EXPECT_FALSE(d.logic->Run(&d, ec));  // must refuse to execute
+  dr->delivered_o_id--;                // restore
+  EXPECT_TRUE(d.logic->Run(&d, ec));
+}
+
+TEST(TpccStockLevel, CountsLowStockUnderThreshold) {
+  TpccScale s = TinyScale();
+  TpccWorkload wl(s);
+  storage::Database db;
+  wl.Load(&db, 1);
+
+  // Place an order, then force one of its stock rows under the threshold.
+  auto neworder = tpcc::MakeNewOrderLogic(wl.aux());
+  txn::Txn t;
+  t.logic = neworder.get();
+  auto* np = t.Params<tpcc::NewOrderParams>();
+  np->w = 2;
+  np->d = 3;
+  np->c = 1;
+  np->ol_cnt = 5;
+  for (int j = 0; j < 5; ++j) {
+    np->item_id[j] = 10 + j;
+    np->supply_w[j] = 2;
+    np->quantity[j] = 1;
+  }
+  txn::OllpPlan(&t, &db);
+  for (auto& a : t.accesses) a.row = db.GetTable(a.table)->LookupRaw(a.key);
+  txn::ExecContext ec{&db, nullptr, false};
+  WorkerStats stats;
+  ec.stats = &stats;
+  ASSERT_TRUE(t.logic->Run(&t, ec));
+  auto* sr = static_cast<tpcc::StockRow*>(
+      db.GetTable(tpcc::kStock)->LookupRaw(tpcc::StockKey(2, 12)));
+  sr->quantity = 5;  // below any threshold in [10, 20]
+
+  auto stock_level = tpcc::MakeStockLevelLogic(wl.aux());
+  txn::Txn q;
+  q.logic = stock_level.get();
+  auto* qp = q.Params<tpcc::StockLevelParams>();
+  qp->w = 2;
+  qp->d = 3;
+  qp->threshold = 10;
+  txn::OllpPlan(&q, &db);
+  EXPECT_EQ(q.accesses.size(), 6u);  // district + 5 distinct items
+  for (auto& a : q.accesses) a.row = db.GetTable(a.table)->LookupRaw(a.key);
+  const auto before = wl.aux()->tallies.Sum();
+  ASSERT_TRUE(q.logic->Run(&q, ec));
+  const auto after = wl.aux()->tallies.Sum();
+  EXPECT_EQ(after.stock_levels - before.stock_levels, 1u);
+  EXPECT_EQ(after.low_stock_seen - before.low_stock_seen, 1u);
+}
+
+
+}  // namespace
+}  // namespace orthrus::workload
