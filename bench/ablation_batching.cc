@@ -1,0 +1,50 @@
+// Ablation: batched message delivery on the CC<->exec hot path. Every lock
+// acquire/grant/release is a word-sized message on a per-pair SPSC queue
+// (Section 3.1); the batched drain pops up to a cache line of messages per
+// index publication, while the unbatched baseline publishes the consumer
+// index once per message. Note what is and is not ablated: both arms use
+// the line-packed payload layout (one modeled coherence line per 8
+// messages), so this measures delivery/index-publication granularity
+// only, not the packing itself.
+//
+// Expected shape: the gap grows with message pressure — more CC threads
+// per transaction means more messages per commit, and bursts at each CC
+// thread deepen, giving batching more to amortize.
+#include <vector>
+
+#include "bench/common/bench_harness.h"
+
+int main() {
+  using namespace orthrus;
+  using namespace orthrus::bench;
+
+  const int kCores = 80;
+  const int kCc = 16;
+  const std::vector<int> parts_per_txn = {1, 2, 4, 8};
+  std::vector<std::string> xs;
+  for (int p : parts_per_txn) xs.push_back(std::to_string(p));
+  PrintHeader("Ablation: batched queue delivery, 80 cores",
+              "tput (M/s) @parts", xs);
+
+  for (bool batched : {true, false}) {
+    std::vector<double> tputs;
+    for (int k : parts_per_txn) {
+      workload::KvConfig kv;
+      kv.num_records = KvRecords();
+      kv.row_bytes = KvRowBytes();
+      kv.num_partitions = kCc;
+      kv.placement = workload::KvConfig::Placement::kFixedCount;
+      kv.partitions_per_txn = k;
+      kv.seed = 77;
+      workload::KvWorkload wl(kv);
+      engine::OrthrusOptions oo;
+      oo.num_cc = kCc;
+      oo.batched_mp = batched;
+      engine::OrthrusEngine eng(BenchOptions(kCores), oo);
+      RunResult r = RunPoint(&eng, &wl, kCores, 1);
+      tputs.push_back(r.Throughput());
+    }
+    PrintRow(batched ? "batched (line/pop)" : "unbatched (msg/pop)", tputs);
+  }
+  return 0;
+}

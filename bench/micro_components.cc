@@ -9,6 +9,7 @@
 #include "hal/fiber.h"
 #include "hal/sim_platform.h"
 #include "lock/lock_table.h"
+#include "mp/queue_mesh.h"
 #include "mp/spsc_queue.h"
 
 namespace {
@@ -40,8 +41,51 @@ void BM_SpscEnqueueDequeue(benchmark::State& state) {
     q.TryDequeue(&v);
     benchmark::DoNotOptimize(v);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SpscEnqueueDequeue);
+
+// Batched counterpart of BM_SpscEnqueueDequeue moving the same number of
+// messages per items_processed: compare the two rows' items/s to see the
+// index-publication amortization (the batched row must not be slower).
+void BM_SpscBatchEnqueueDequeue(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  mp::SpscQueue<std::uint64_t> q(1024);
+  std::uint64_t buf[64];
+  for (std::size_t i = 0; i < batch; ++i) buf[i] = i;
+  for (auto _ : state) {
+    q.PushBatch(buf, batch);
+    q.PopBatch(buf, batch);
+    benchmark::DoNotOptimize(buf[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SpscBatchEnqueueDequeue)->Arg(8)->Arg(64);
+
+// Mesh fan-in: drain a burst from `senders` queues, batched vs. one
+// message per pop (max_batch=1). items/s compares delivery hot paths.
+void BM_QueueMeshDrain(benchmark::State& state) {
+  const int senders = static_cast<int>(state.range(0));
+  const std::size_t max_batch = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kBurst = 32;  // messages per sender per iteration
+  mp::QueueMesh<std::uint64_t> mesh(senders, 1, 64);
+  std::uint64_t buf[kBurst];
+  for (std::size_t i = 0; i < kBurst; ++i) buf[i] = i;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int s = 0; s < senders; ++s) {
+      mesh.at(s, 0).PushBatch(buf, kBurst);
+    }
+    mesh.Drain(0, [&sink](std::uint64_t v) { sink += v; }, max_batch);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          senders * static_cast<std::int64_t>(kBurst));
+}
+BENCHMARK(BM_QueueMeshDrain)
+    ->ArgsProduct({{4, 16}, {1, 8}})
+    ->ArgNames({"senders", "batch"});
 
 void BM_LockTableAcquireRelease(benchmark::State& state) {
   lock::LockTable::Config cfg;

@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "mp/spsc_queue.h"
+#include "mp/queue_mesh.h"
 #include "txn/ollp.h"
 
 namespace orthrus::engine {
@@ -369,44 +369,28 @@ class SharedCcTable {
 
 // --------------------------------------------------------- shared state
 
-using Queue = mp::SpscQueue<std::uint64_t>;
+using Mesh = mp::QueueMesh<std::uint64_t>;
 
 struct Shared {
   int n_cc = 0;
   int n_exec = 0;
   bool forwarding = true;
+  // Messages popped per PopBatch on the receive side; 1 is the unbatched
+  // ablation baseline.
+  std::size_t drain_batch = Mesh::kDefaultBatch;
   hal::Cycles cc_op_cycles = 20;
 
-  // Queue matrices, indexed [sender][receiver].
-  std::vector<std::unique_ptr<Queue>> exec_to_cc;  // [exec][cc] acquire+release
-  std::vector<std::unique_ptr<Queue>> cc_to_cc;    // [cc][cc]   forward
-  std::vector<std::unique_ptr<Queue>> cc_to_exec;  // [cc][exec] grant/ack
+  // Queue meshes, indexed (sender, receiver).
+  Mesh exec_to_cc;  // (exec, cc)  acquire + release
+  Mesh cc_to_cc;    // (cc, cc)    forward
+  Mesh cc_to_exec;  // (cc, exec)  grant / stage-done / ack
 
   hal::Atomic<std::uint64_t> execs_done{0};
   hal::Atomic<std::uint64_t> inflight_global{0};
 
   // Section 3.4 mode: non-null when CC threads share one latched table.
   std::unique_ptr<SharedCcTable> shared_cc;
-
-  Queue* AcquireQueue(int exec, int cc) {
-    return exec_to_cc[static_cast<std::size_t>(exec) * n_cc + cc].get();
-  }
-  Queue* ForwardQueue(int from_cc, int to_cc) {
-    return cc_to_cc[static_cast<std::size_t>(from_cc) * n_cc + to_cc].get();
-  }
-  Queue* GrantQueue(int cc, int exec) {
-    return cc_to_exec[static_cast<std::size_t>(cc) * n_exec + exec].get();
-  }
 };
-
-void SendBlocking(Queue* q, std::uint64_t word) {
-  std::uint64_t spins = 0;
-  while (!q->TryEnqueue(word)) {
-    hal::CpuRelax();
-    ORTHRUS_CHECK_MSG(++spins < (1ull << 26),
-                      "message queue wedged: capacity bound violated");
-  }
-}
 
 // ------------------------------------------------------------ CC thread
 
@@ -444,24 +428,13 @@ class CcThread {
 
  private:
   bool DrainOnce() {
-    bool progress = false;
-    for (int e = 0; e < shared_->n_exec; ++e) {
-      std::uint64_t w;
-      while (shared_->AcquireQueue(e, cc_id_)->TryDequeue(&w)) {
-        Handle(w);
-        progress = true;
-      }
-    }
+    const auto handle = [this](std::uint64_t w) { Handle(w); };
+    std::size_t n =
+        shared_->exec_to_cc.Drain(cc_id_, handle, shared_->drain_batch);
     if (shared_->forwarding) {
-      for (int c = 0; c < shared_->n_cc; ++c) {
-        std::uint64_t w;
-        while (shared_->ForwardQueue(c, cc_id_)->TryDequeue(&w)) {
-          Handle(w);
-          progress = true;
-        }
-      }
+      n += shared_->cc_to_cc.Drain(cc_id_, handle, shared_->drain_batch);
     }
-    return progress;
+    return n != 0;
   }
 
   void Handle(std::uint64_t word) {
@@ -529,8 +502,7 @@ class CcThread {
     if (shared_->shared_cc != nullptr) {
       runnable_.clear();
       shared_->shared_cc->ReleaseAll(tcb, &runnable_);
-      SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
-                   Encode(tcb, kAck));
+      shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kAck));
       stats_->messages_sent++;
       // Continue the transactions our release unblocked; any that complete
       // their lock set are handed to their execution threads.
@@ -557,8 +529,7 @@ class CcThread {
     }
     // Release requests are satisfied and acknowledged immediately
     // (Section 3.1).
-    SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
-                 Encode(tcb, kAck));
+    shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kAck));
     stats_->messages_sent++;
   }
 
@@ -605,8 +576,7 @@ class CcThread {
   }
 
   void SendGrant(Tcb* tcb) {
-    SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
-                 Encode(tcb, kGrant));
+    shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kGrant));
     stats_->messages_sent++;
   }
 
@@ -617,17 +587,16 @@ class CcThread {
     if (next < tcb->n_stages) {
       if (shared_->forwarding) {
         tcb->cur_stage = next;
-        SendBlocking(shared_->ForwardQueue(cc_id_, tcb->stages[next].cc),
-                     Encode(tcb, kAcquire));
+        shared_->cc_to_cc.Send(cc_id_, tcb->stages[next].cc,
+                               Encode(tcb, kAcquire));
       } else {
         // Ablation mode: the execution thread mediates every hop, paying
         // two message delays per CC thread (2*Ncc total).
-        SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
-                     Encode(tcb, kStageDone));
+        shared_->cc_to_exec.Send(cc_id_, tcb->exec_id,
+                                 Encode(tcb, kStageDone));
       }
     } else {
-      SendBlocking(shared_->GrantQueue(cc_id_, tcb->exec_id),
-                   Encode(tcb, kGrant));
+      shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kGrant));
     }
     stats_->messages_sent++;
   }
@@ -692,31 +661,29 @@ class ExecThread {
   }
 
   bool PollGrants() {
-    bool progress = false;
-    std::uint64_t w;
-    for (int c = 0; c < shared_->n_cc; ++c) {
-      while (shared_->GrantQueue(c, exec_id_)->TryDequeue(&w)) {
-        progress = true;
-        Tcb* tcb = DecodeTcb(w);
-        switch (DecodeTag(w)) {
-          case kGrant:
-            Execute(tcb);
-            break;
-          case kStageDone:
-            // Non-forwarding mode: we mediate the next hop ourselves.
-            tcb->cur_stage++;
-            ORTHRUS_DCHECK(tcb->cur_stage < tcb->n_stages);
-            SendAcquire(tcb, tcb->stages[tcb->cur_stage].cc);
-            break;
-          case kAck:
-            OnAck(tcb);
-            break;
-          default:
-            ORTHRUS_CHECK_MSG(false, "unexpected message at exec thread");
-        }
-      }
-    }
-    return progress;
+    const std::size_t n = shared_->cc_to_exec.Drain(
+        exec_id_,
+        [this](std::uint64_t w) {
+          Tcb* tcb = DecodeTcb(w);
+          switch (DecodeTag(w)) {
+            case kGrant:
+              Execute(tcb);
+              break;
+            case kStageDone:
+              // Non-forwarding mode: we mediate the next hop ourselves.
+              tcb->cur_stage++;
+              ORTHRUS_DCHECK(tcb->cur_stage < tcb->n_stages);
+              SendAcquire(tcb, tcb->stages[tcb->cur_stage].cc);
+              break;
+            case kAck:
+              OnAck(tcb);
+              break;
+            default:
+              ORTHRUS_CHECK_MSG(false, "unexpected message at exec thread");
+          }
+        },
+        shared_->drain_batch);
+    return n != 0;
   }
 
   bool IssueNew() {
@@ -789,7 +756,7 @@ class ExecThread {
   }
 
   void SendAcquire(Tcb* tcb, int cc) {
-    SendBlocking(shared_->AcquireQueue(exec_id_, cc), Encode(tcb, kAcquire));
+    shared_->exec_to_cc.Send(exec_id_, cc, Encode(tcb, kAcquire));
     stats_->messages_sent++;
   }
 
@@ -813,14 +780,13 @@ class ExecThread {
     t0 = hal::Now();
     if (shared_->shared_cc != nullptr) {
       tcb->pending_acks = 1;
-      SendBlocking(shared_->AcquireQueue(exec_id_, tcb->home_cc),
-                   Encode(tcb, kRelease));
+      shared_->exec_to_cc.Send(exec_id_, tcb->home_cc, Encode(tcb, kRelease));
       stats_->messages_sent++;
     } else {
       tcb->pending_acks = tcb->n_stages;
       for (int s = 0; s < tcb->n_stages; ++s) {
-        SendBlocking(shared_->AcquireQueue(exec_id_, tcb->stages[s].cc),
-                     Encode(tcb, kRelease));
+        shared_->exec_to_cc.Send(exec_id_, tcb->stages[s].cc,
+                                 Encode(tcb, kRelease));
         stats_->messages_sent++;
       }
     }
@@ -873,6 +839,7 @@ OrthrusEngine::OrthrusEngine(EngineOptions options, OrthrusOptions orthrus)
 std::string OrthrusEngine::name() const {
   std::string n = orthrus_.split_index ? "split-orthrus" : "orthrus";
   if (!orthrus_.forwarding) n += "-nofwd";
+  if (!orthrus_.batched_mp) n += "-nobatch";
   if (orthrus_.shared_cc_table) n += "-sharedcc";
   return n;
 }
@@ -898,27 +865,16 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   }
 
   // Queue capacities: provable upper bounds on outstanding messages per
-  // pair, doubled for slack (SendBlocking CHECK-fails if these are wrong).
+  // pair, doubled for slack (Mesh::Send CHECK-fails if these are wrong).
   const std::size_t inflight = static_cast<std::size_t>(orthrus_.max_inflight);
   const std::size_t aq_cap = NextPowerOfTwo(2 * inflight + 4);
   const std::size_t fq_cap =
       NextPowerOfTwo(2 * inflight * static_cast<std::size_t>(n_exec) + 4);
   const std::size_t gq_cap = NextPowerOfTwo(2 * inflight + 4);
-  for (int e = 0; e < n_exec; ++e) {
-    for (int c = 0; c < n_cc; ++c) {
-      shared.exec_to_cc.push_back(std::make_unique<Queue>(aq_cap));
-    }
-  }
-  for (int c1 = 0; c1 < n_cc; ++c1) {
-    for (int c2 = 0; c2 < n_cc; ++c2) {
-      shared.cc_to_cc.push_back(std::make_unique<Queue>(fq_cap));
-    }
-  }
-  for (int c = 0; c < n_cc; ++c) {
-    for (int e = 0; e < n_exec; ++e) {
-      shared.cc_to_exec.push_back(std::make_unique<Queue>(gq_cap));
-    }
-  }
+  shared.exec_to_cc.Reset(n_exec, n_cc, aq_cap);
+  shared.cc_to_cc.Reset(n_cc, n_cc, fq_cap);
+  shared.cc_to_exec.Reset(n_cc, n_exec, gq_cap);
+  if (!orthrus_.batched_mp) shared.drain_batch = 1;
 
   std::vector<WorkerStats> stats(options_.num_cores);
   std::vector<WorkerClock> clocks(options_.num_cores);
@@ -957,9 +913,9 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   platform->Run();
 
   // Consistency: every queue fully drained.
-  for (auto& q : shared.exec_to_cc) ORTHRUS_CHECK(q->SizeRaw() == 0);
-  for (auto& q : shared.cc_to_cc) ORTHRUS_CHECK(q->SizeRaw() == 0);
-  for (auto& q : shared.cc_to_exec) ORTHRUS_CHECK(q->SizeRaw() == 0);
+  ORTHRUS_CHECK(shared.exec_to_cc.SizeRawTotal() == 0);
+  ORTHRUS_CHECK(shared.cc_to_cc.SizeRawTotal() == 0);
+  ORTHRUS_CHECK(shared.cc_to_exec.SizeRawTotal() == 0);
 
   return FinalizeRun(stats, clocks, cps);
 }

@@ -39,6 +39,12 @@ struct OrthrusOptions {
   // Section 3.3 optimization: CC->CC forwarding of lock-acquisition chains.
   bool forwarding = true;
 
+  // Batched message delivery: drain queues a cache line of messages at a
+  // time instead of one message per pop. Ablation flag: off isolates the
+  // index-publication amortization (every pop publishes the head) — the
+  // line-packed payload layout of mp::SpscQueue stays active either way.
+  bool batched_mp = true;
+
   // Use physically partitioned indexes (SPLIT ORTHRUS, Section 4.3). The
   // database must then be loaded with num_table_partitions == num_cc.
   bool split_index = false;

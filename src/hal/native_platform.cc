@@ -52,7 +52,7 @@ Cycles NativePlatform::Now() {
   return static_cast<Cycles>(static_cast<double>(ns) * kGhz);
 }
 
-void NativePlatform::ConsumeCycles(Cycles n) {
+void NativePlatform::ConsumeCycles(Cycles /*n*/) {
   // Real computation happens for real on this platform; declared cycles are
   // a modeling concept and cost nothing here.
 }
@@ -64,7 +64,7 @@ void NativePlatform::CpuRelax() {
   std::this_thread::yield();
 }
 
-void NativePlatform::OnAtomicAccess(LineMeta* line, MemOp op) {
+void NativePlatform::OnAtomicAccess(LineMeta* /*line*/, MemOp /*op*/) {
   // Real coherence hardware does the modeling here.
 }
 

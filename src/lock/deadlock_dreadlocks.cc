@@ -23,7 +23,7 @@ void PublishDigest(WorkerLockCtx* ctx, const Bitset128& d) {
 
 }  // namespace
 
-bool DreadlocksPolicy::OnBlock(WorkerLockCtx* me, Request* req) {
+bool DreadlocksPolicy::OnBlock(WorkerLockCtx* me, Request* /*req*/) {
   PublishDigest(me, Bitset128::Single(me->worker_id));
   return true;
 }

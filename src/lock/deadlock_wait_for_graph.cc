@@ -21,7 +21,7 @@ WorkerLockCtx* AsCtx(std::uint64_t word) {
 
 }  // namespace
 
-bool WaitForGraphPolicy::OnBlock(WorkerLockCtx* me, Request* req) {
+bool WaitForGraphPolicy::OnBlock(WorkerLockCtx* me, Request* /*req*/) {
   // Publish the edge me -> blocker. `me->blocker` was resolved by Acquire
   // under the bucket latch just before this call.
   me->waits_for.store(AsWord(me->blocker));

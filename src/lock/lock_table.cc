@@ -246,8 +246,8 @@ void LockTable::RefreshBlocker(WorkerLockCtx* ctx) {
 
 // ------------------------------------------------------------- policies
 
-bool DeadlockPolicy::WaitForGrant(WorkerLockCtx* me, Request* req,
-                                  LockTable* table) {
+bool DeadlockPolicy::WaitForGrant(WorkerLockCtx* /*me*/, Request* req,
+                                  LockTable* /*table*/) {
   hal::Cycles backoff = 0;
   while (req->granted.load() == 0) {
     hal::ConsumeCycles(backoff + hal::FastJitter(64));

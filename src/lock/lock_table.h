@@ -209,7 +209,9 @@ class DeadlockPolicy {
   // Called under the bucket latch when `req` has conflicting requests
   // ahead. Returns false to abort the requesting transaction immediately
   // (wait-die's "die"); the lock table then unlinks the request.
-  virtual bool OnBlock(WorkerLockCtx* me, Request* req) { return true; }
+  virtual bool OnBlock(WorkerLockCtx* /*me*/, Request* /*req*/) {
+    return true;
+  }
 
   // Spin until req->granted, running detection logic. Returns false when a
   // deadlock involving `me` was detected (the caller unlinks and aborts).
@@ -219,7 +221,7 @@ class DeadlockPolicy {
                             LockTable* table);
 
   // Cleanup after a wait ends (granted or aborted).
-  virtual void OnWaitEnd(WorkerLockCtx* me) {}
+  virtual void OnWaitEnd(WorkerLockCtx* /*me*/) {}
 
   virtual const char* name() const { return "fifo-wait"; }
 };

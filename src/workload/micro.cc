@@ -30,7 +30,7 @@ std::uint64_t ResidueCount(std::uint64_t count, int n, int residue) {
 
 class KvWorkload::RmwLogic final : public txn::TxnLogic {
  public:
-  void BuildAccessSet(txn::Txn* t, storage::Database* db) override {
+  void BuildAccessSet(txn::Txn* t, storage::Database* /*db*/) override {
     const KvParams* p = t->Params<KvParams>();
     t->accesses.reserve(p->n_ops);
     for (int i = 0; i < p->n_ops; ++i) {
@@ -57,7 +57,7 @@ class KvWorkload::RmwLogic final : public txn::TxnLogic {
 
 class KvWorkload::ReadLogic final : public txn::TxnLogic {
  public:
-  void BuildAccessSet(txn::Txn* t, storage::Database* db) override {
+  void BuildAccessSet(txn::Txn* t, storage::Database* /*db*/) override {
     const KvParams* p = t->Params<KvParams>();
     t->accesses.reserve(p->n_ops);
     for (int i = 0; i < p->n_ops; ++i) {

@@ -23,7 +23,7 @@ class NewOrderLogic final : public txn::TxnLogic {
  public:
   explicit NewOrderLogic(TpccAux* aux) : aux_(aux) {}
 
-  void BuildAccessSet(txn::Txn* t, storage::Database* db) override {
+  void BuildAccessSet(txn::Txn* t, storage::Database* /*db*/) override {
     const NewOrderParams* p = t->Params<NewOrderParams>();
     t->accesses.reserve(3 + p->ol_cnt);
     t->accesses.push_back({kWarehouse, txn::LockMode::kShared,
@@ -49,7 +49,7 @@ class NewOrderLogic final : public txn::TxnLogic {
         t->RowFor(kWarehouse, WarehouseKey(p->w)));
     auto* dr = static_cast<DistrictRow*>(
         t->RowFor(kDistrict, DistrictKey(p->w, p->d)));
-    auto* cr = static_cast<CustomerRow*>(
+    [[maybe_unused]] auto* cr = static_cast<CustomerRow*>(
         t->RowFor(kCustomer, CustomerKey(p->w, p->d, p->c)));
     ORTHRUS_DCHECK(wr != nullptr && dr != nullptr && cr != nullptr);
 
@@ -131,7 +131,7 @@ class PaymentLogic final : public txn::TxnLogic {
 
   bool NeedsReconnaissance() const override { return true; }
 
-  void BuildAccessSet(txn::Txn* t, storage::Database* db) override {
+  void BuildAccessSet(txn::Txn* t, storage::Database* /*db*/) override {
     PaymentParams* p = t->Params<PaymentParams>();
     if (p->by_last_name) {
       // OLLP reconnaissance: unlocked secondary-index read yielding an
@@ -219,7 +219,7 @@ class OrderStatusLogic final : public txn::TxnLogic {
 
   bool NeedsReconnaissance() const override { return true; }
 
-  void BuildAccessSet(txn::Txn* t, storage::Database* db) override {
+  void BuildAccessSet(txn::Txn* t, storage::Database* /*db*/) override {
     OrderStatusParams* p = t->Params<OrderStatusParams>();
     if (p->by_last_name) {
       const std::uint64_t est = aux_->customers_by_name.LookupMidpoint(

@@ -1,0 +1,197 @@
+// Cross-engine equivalence: on the deterministic simulator with a fixed
+// seed and a bounded per-worker commit budget, every engine architecture
+// must commit exactly the same multiset of transactions — the first K from
+// each of the same per-worker YCSB streams (engines retry aborted
+// transactions until they commit, and the KV access sets are static, so no
+// transaction is ever skipped). Committed RMW effects are commutative
+// (row[0] += 1, row[1] ^= key), so identical committed multisets imply
+// bit-identical final tables regardless of the execution interleaving each
+// architecture produces. This pins the engines to one another: a lost,
+// duplicated, or phantom grant anywhere in the lock or message-passing
+// plumbing shows up as a digest mismatch.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/deadlockfree/deadlockfree_engine.h"
+#include "engine/orthrus/orthrus_engine.h"
+#include "engine/partitioned/partitioned_engine.h"
+#include "engine/twopl/twopl_engine.h"
+#include "hal/sim_platform.h"
+#include "workload/ycsb.h"
+
+namespace orthrus {
+namespace {
+
+constexpr int kExecWorkers = 3;   // transaction-issuing workers per engine
+constexpr std::uint64_t kTxnsPerWorker = 25;
+constexpr int kOrthrusCc = 2;
+
+// ORTHRUS seeds its exec-thread sources with (num_cc + exec_id); the
+// shared-everything engines use the bare worker id. This shim realigns the
+// streams so every engine consumes sources 0..kExecWorkers-1.
+class ShiftedWorkload final : public workload::Workload {
+ public:
+  ShiftedWorkload(workload::Workload* inner, int shift)
+      : inner_(inner), shift_(shift) {}
+
+  void Load(storage::Database* db, int num_table_partitions) override {
+    inner_->Load(db, num_table_partitions);
+  }
+  std::unique_ptr<workload::TxnSource> MakeSource(int worker_id) const
+      override {
+    return inner_->MakeSource(worker_id - shift_);
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  workload::Workload* inner_;
+  int shift_;
+};
+
+workload::YcsbSpec Spec() {
+  workload::YcsbSpec spec;
+  spec.contention = workload::YcsbContention::kHigh;
+  spec.op = workload::YcsbOp::kRmw;
+  spec.placement = workload::YcsbPlacement::kRandom;  // keys ignore the
+                                                      // partition universe
+  spec.num_records = 4000;
+  spec.row_bytes = 32;
+  spec.seed = 1234;
+  return spec;
+}
+
+engine::EngineOptions Options(int cores) {
+  engine::EngineOptions o;
+  o.num_cores = cores;
+  // Virtual-time budget far beyond what K transactions need: the commit
+  // cap, not the clock, ends every run.
+  o.duration_seconds = 1000.0;
+  o.max_txns_per_worker = kTxnsPerWorker;
+  return o;
+}
+
+struct Outcome {
+  std::uint64_t committed = 0;
+  std::uint64_t counter_sum = 0;
+  std::uint64_t digest = 0;
+};
+
+// FNV-1a over every row's verifiable words, in slot order.
+std::uint64_t TableDigest(const storage::Database& db) {
+  const storage::Table* table = db.GetTable(workload::KvWorkload::kTableId);
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (std::uint64_t slot = 0; slot < table->size(); ++slot) {
+    const auto* row =
+        static_cast<const std::uint64_t*>(table->RowBySlot(slot));
+    mix(row[0]);
+    mix(row[1]);
+  }
+  return h;
+}
+
+// Loads a fresh database (unsplit table), repoints the partition universe
+// at `partitions`, runs the engine, and digests the result.
+Outcome RunOne(engine::Engine* eng, workload::Workload* wl, int cores,
+               int partitions) {
+  workload::KvWorkload kv(workload::MakeYcsbConfig(Spec()));
+  storage::Database db;
+  kv.Load(&db, 1);
+  db.partitioner().n = partitions;
+  hal::SimPlatform sim(cores);
+  const RunResult r = eng->Run(&sim, &db, *wl);
+  Outcome out;
+  out.committed = r.total.committed;
+  out.counter_sum = kv.SumCounters(db);
+  out.digest = TableDigest(db);
+  return out;
+}
+
+TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
+  workload::KvWorkload kv(workload::MakeYcsbConfig(Spec()));
+  ShiftedWorkload plain(&kv, 0);
+  ShiftedWorkload orthrus_aligned(&kv, kOrthrusCc);
+
+  std::vector<std::pair<std::string, Outcome>> outcomes;
+
+  {
+    engine::TwoPlEngine eng(Options(kExecWorkers),
+                            engine::DeadlockPolicyKind::kWaitDie);
+    outcomes.emplace_back(eng.name(),
+                          RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
+  }
+  {
+    engine::DeadlockFreeEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(eng.name(),
+                          RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
+  }
+  {
+    engine::PartitionedEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(eng.name(),
+                          RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
+  }
+  // ORTHRUS variants: every message-passing configuration (forwarding
+  // on/off, batched delivery on/off, shared CC table) must agree with the
+  // shared-everything engines.
+  struct OrthrusCase {
+    bool forwarding;
+    bool batched_mp;
+    bool shared_cc;
+  };
+  for (const OrthrusCase& c :
+       {OrthrusCase{true, true, false}, OrthrusCase{false, true, false},
+        OrthrusCase{true, false, false}, OrthrusCase{true, true, true}}) {
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    // One transaction in flight per exec thread: the commit cap is checked
+    // before each issue, so each worker commits exactly its first K.
+    oo.max_inflight = 1;
+    oo.forwarding = c.forwarding;
+    oo.batched_mp = c.batched_mp;
+    oo.shared_cc_table = c.shared_cc;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunOne(&eng, &orthrus_aligned,
+                                 kOrthrusCc + kExecWorkers, kOrthrusCc));
+  }
+
+  const std::uint64_t want_committed = kExecWorkers * kTxnsPerWorker;
+  const std::uint64_t want_counters = want_committed * 10;  // 10 RMW ops/txn
+  for (const auto& [name, out] : outcomes) {
+    EXPECT_EQ(out.committed, want_committed) << name;
+    EXPECT_EQ(out.counter_sum, want_counters) << name;
+    EXPECT_EQ(out.digest, outcomes.front().second.digest)
+        << name << " diverged from " << outcomes.front().first;
+  }
+}
+
+// The same engine run twice must be bit-identical: the simulator is
+// deterministic, so any divergence is nondeterminism leaking into an
+// engine (e.g. iteration over pointer-keyed containers).
+TEST(EngineEquivalence, OrthrusRunsAreDeterministic) {
+  workload::KvWorkload kv(workload::MakeYcsbConfig(Spec()));
+  ShiftedWorkload aligned(&kv, kOrthrusCc);
+  const auto run = [&aligned] {
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    return RunOne(&eng, &aligned, kOrthrusCc + kExecWorkers, kOrthrusCc);
+  };
+  const Outcome a = run();
+  const Outcome b = run();
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+}  // namespace
+}  // namespace orthrus

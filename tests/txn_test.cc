@@ -16,7 +16,7 @@ struct FakeParams {
 // Logic whose access set can be made data-dependent for OLLP tests.
 class FakeLogic : public TxnLogic {
  public:
-  void BuildAccessSet(Txn* t, storage::Database* db) override {
+  void BuildAccessSet(Txn* t, storage::Database* /*db*/) override {
     build_calls++;
     const FakeParams* p = t->Params<FakeParams>();
     for (int i = 0; i < p->n; ++i) {
@@ -25,7 +25,7 @@ class FakeLogic : public TxnLogic {
     }
   }
   bool NeedsReconnaissance() const override { return true; }
-  bool Run(Txn* t, const ExecContext& ctx) override { return run_ok; }
+  bool Run(Txn* /*t*/, const ExecContext& /*ctx*/) override { return run_ok; }
 
   int build_calls = 0;
   std::uint64_t key_shift = 0;  // simulates a moving data-dependent target
