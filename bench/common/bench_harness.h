@@ -6,14 +6,24 @@
 //   ORTHRUS_BENCH_RECORDS table size for the KV workloads (default 200000)
 //   ORTHRUS_PAPER_SCALE   set to 1 for paper-sized tables (10M x 1000B) —
 //                         needs tens of GB and long runs; off by default.
+//   ORTHRUS_PAPER_SCALE_RECORDS
+//                         overrides the paper-scale row count (keeps the
+//                         1000B rows); lets CI run the paper configuration
+//                         on hosts that cannot hold the full 10M rows.
+//   ORTHRUS_BENCH_MAX_CORES
+//                         caps the simulated core counts in scaling sweeps
+//                         (0 = no cap); the scaled-down nightly uses this
+//                         to bound wall time.
 #ifndef ORTHRUS_BENCH_COMMON_BENCH_HARNESS_H_
 #define ORTHRUS_BENCH_COMMON_BENCH_HARNESS_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/deadlockfree/deadlockfree_engine.h"
 #include "engine/orthrus/orthrus_engine.h"
@@ -43,11 +53,29 @@ inline double PointSeconds() {
 inline bool PaperScale() { return EnvU64("ORTHRUS_PAPER_SCALE", 0) != 0; }
 
 inline std::uint64_t KvRecords() {
-  if (PaperScale()) return 10'000'000;
+  if (PaperScale()) return EnvU64("ORTHRUS_PAPER_SCALE_RECORDS", 10'000'000);
   return EnvU64("ORTHRUS_BENCH_RECORDS", 200'000);
 }
 
 inline std::uint32_t KvRowBytes() { return PaperScale() ? 1000 : 100; }
+
+// Filters a scaling sweep's core counts through ORTHRUS_BENCH_MAX_CORES.
+// A cap below the smallest configured point falls back to that smallest
+// point rather than the raw cap: the figure drivers derive engine shapes
+// (e.g. ORTHRUS CC/exec splits) from their own core lists, and an
+// arbitrary small count could produce an invalid configuration.
+inline std::vector<int> CoreSweep(std::vector<int> defaults) {
+  const int cap = static_cast<int>(EnvU64("ORTHRUS_BENCH_MAX_CORES", 0));
+  if (cap <= 0) return defaults;
+  std::vector<int> out;
+  for (int c : defaults) {
+    if (c <= cap) out.push_back(c);
+  }
+  if (out.empty() && !defaults.empty()) {
+    out.push_back(*std::min_element(defaults.begin(), defaults.end()));
+  }
+  return out;
+}
 
 inline engine::EngineOptions BenchOptions(int cores) {
   engine::EngineOptions o;

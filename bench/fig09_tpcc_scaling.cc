@@ -12,7 +12,7 @@ int main() {
   using namespace orthrus;
   using namespace orthrus::bench;
 
-  const std::vector<int> core_counts = {10, 20, 40, 60, 80};
+  const std::vector<int> core_counts = CoreSweep({10, 20, 40, 60, 80});
   std::vector<std::string> xs;
   for (int c : core_counts) xs.push_back(std::to_string(c));
   PrintHeader("Figure 9: TPC-C scalability, 16 warehouses", "tput (M/s) @cores",

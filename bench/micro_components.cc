@@ -87,6 +87,36 @@ BENCHMARK(BM_QueueMeshDrain)
     ->ArgsProduct({{4, 16}, {1, 8}})
     ->ArgNames({"senders", "batch"});
 
+// Adaptive (deepest-first) drain under a skewed burst: sender s holds
+// (s+1) * 8 messages, so visit order matters. Compare items/s against
+// BM_QueueMeshDrain to price the per-sender depth snapshot + sort.
+void BM_QueueMeshDrainAdaptive(benchmark::State& state) {
+  const int senders = static_cast<int>(state.range(0));
+  const bool adaptive = state.range(1) != 0;
+  mp::QueueMesh<std::uint64_t> mesh(senders, 1, 256);
+  std::uint64_t buf[256];
+  for (std::size_t i = 0; i < 256; ++i) buf[i] = i;
+  std::int64_t per_iter = 0;
+  for (int s = 0; s < senders; ++s) per_iter += (s + 1) * 8;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int s = 0; s < senders; ++s) {
+      mesh.at(s, 0).PushBatch(buf, static_cast<std::size_t>(s + 1) * 8);
+    }
+    mesh.Drain(
+        0, [&sink](std::uint64_t v) { sink += v; },
+        mp::QueueMesh<std::uint64_t>::kDefaultBatch,
+        adaptive ? mp::DrainOrder::kDeepestFirst
+                 : mp::DrainOrder::kRoundRobin);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          per_iter);
+}
+BENCHMARK(BM_QueueMeshDrainAdaptive)
+    ->ArgsProduct({{4, 16}, {0, 1}})
+    ->ArgNames({"senders", "adaptive"});
+
 void BM_LockTableAcquireRelease(benchmark::State& state) {
   lock::LockTable::Config cfg;
   cfg.num_buckets = 1 << 12;

@@ -1,0 +1,29 @@
+// Incremental FNV-1a over 64-bit words, byte-wise. One definition shared
+// by every state digest (engine-equivalence table digests, the TPC-C
+// canonical digest) so the hash the tests pin and the hash production
+// code computes can never drift apart.
+#ifndef ORTHRUS_COMMON_FNV_H_
+#define ORTHRUS_COMMON_FNV_H_
+
+#include <cstdint>
+
+namespace orthrus {
+
+class Fnv1a {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h_ ^= (v >> (8 * b)) & 0xFF;
+      h_ *= 1099511628211ull;  // FNV prime
+    }
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;  // FNV offset basis
+};
+
+}  // namespace orthrus
+
+#endif  // ORTHRUS_COMMON_FNV_H_

@@ -7,6 +7,7 @@ namespace orthrus {
 void WorkerStats::Merge(const WorkerStats& other) {
   committed += other.committed;
   aborted += other.aborted;
+  backoffs += other.backoffs;
   ollp_aborts += other.ollp_aborts;
   deadlocks += other.deadlocks;
   lock_waits += other.lock_waits;

@@ -26,6 +26,7 @@ enum class TimeCategory : int {
 struct WorkerStats {
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;        // aborts from deadlock handling
+  std::uint64_t backoffs = 0;       // restart backoffs taken after aborts
   std::uint64_t ollp_aborts = 0;    // aborts from stale OLLP estimates
   std::uint64_t deadlocks = 0;      // detected deadlock cycles (graph-based)
   std::uint64_t lock_waits = 0;     // lock requests that had to wait

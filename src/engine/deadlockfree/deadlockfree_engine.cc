@@ -1,11 +1,60 @@
 #include "engine/deadlockfree/deadlockfree_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
-#include "txn/ollp.h"
-
 namespace orthrus::engine {
+namespace {
+
+// One attempt of deadlock-free locking: sort the pre-declared access set
+// into the canonical global order, acquire everything (FIFO wait, no
+// deadlock handling — deadlock freedom by construction), then execute with
+// all locks held.
+class DeadlockFreeStrategy final : public runtime::ExecutionStrategy {
+ public:
+  DeadlockFreeStrategy(lock::LockTable* lock_table, lock::WorkerLockCtx* ctx,
+                       storage::Database* db, WorkerStats* st)
+      : lock_table_(lock_table), ctx_(ctx), db_(db), st_(st) {}
+
+  runtime::TxnOutcome TryExecute(txn::Txn* t) override {
+    std::sort(t->accesses.begin(), t->accesses.end(), txn::AccessKeyOrder());
+
+    // Phase 1: acquire everything.
+    hal::Cycles t0 = hal::Now();
+    for (std::size_t i = 0; i < t->accesses.size(); ++i) {
+      const txn::Access& a = t->accesses[i];
+      lock::LockTable::AcquireResult r =
+          lock_table_->Acquire(ctx_, a.table, a.key, a.mode, /*policy=*/nullptr);
+      if (r == lock::LockTable::AcquireResult::kWaiting) {
+        const bool granted = lock_table_->Wait(ctx_, /*policy=*/nullptr);
+        ORTHRUS_CHECK_MSG(granted, "FIFO wait cannot abort");
+      }
+    }
+    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+
+    // Phase 2: execute with all locks held.
+    t0 = hal::Now();
+    for (txn::Access& a : t->accesses) ResolveRow(db_, &a);
+    txn::ExecContext ec{db_, st_, /*charge_cycles=*/true};
+    const bool ok = t->logic->Run(t, ec);
+    st_->Add(TimeCategory::kExecution, hal::Now() - t0);
+
+    t0 = hal::Now();
+    lock_table_->ReleaseAll(ctx_);
+    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+    return ok ? runtime::TxnOutcome::kCommitted
+              : runtime::TxnOutcome::kMismatch;
+  }
+
+ private:
+  lock::LockTable* lock_table_;
+  lock::WorkerLockCtx* ctx_;
+  storage::Database* db_;
+  WorkerStats* st_;
+};
+
+}  // namespace
 
 RunResult DeadlockFreeEngine::Run(hal::Platform* platform,
                                   storage::Database* db,
@@ -17,78 +66,27 @@ RunResult DeadlockFreeEngine::Run(hal::Platform* platform,
   lt_config.max_workers = n;
   lock::LockTable lock_table(lt_config);
 
-  std::vector<WorkerStats> stats(n);
-  std::vector<WorkerClock> clocks(n);
+  runtime::WorkerPool pool(platform, n, options_.duration_seconds,
+                           options_.rng_seed);
   std::vector<lock::WorkerLockCtx*> ctxs(n);
-  for (int w = 0; w < n; ++w) ctxs[w] = lock_table.RegisterWorker(w, &stats[w]);
-
-  const double cps = platform->CyclesPerSecond();
   for (int w = 0; w < n; ++w) {
-    platform->Spawn(w, [this, w, db, &workload, &lock_table, &stats, &clocks,
-                        &ctxs, cps]() {
-      WorkerStats& st = stats[w];
-      WorkerClock& clock = clocks[w];
-      lock::WorkerLockCtx* ctx = ctxs[w];
-      std::unique_ptr<workload::TxnSource> source = workload.MakeSource(w);
-      txn::Txn t;
-      clock.Begin(options_.duration_seconds, cps);
+    ctxs[w] = lock_table.RegisterWorker(w, &pool.worker(w).stats);
+  }
 
-      while (!clock.Expired() &&
-             (options_.max_txns_per_worker == 0 ||
-              st.committed < options_.max_txns_per_worker)) {
-        source->Next(&t);
-        txn::OllpPlan(&t, db);
-        t.start_cycles = hal::Now();
-        t.restarts = 0;
-
-        bool committed = false;
-        while (!committed) {
-          // Canonical global order: deadlock freedom by construction.
-          std::sort(t.accesses.begin(), t.accesses.end(),
-                    txn::AccessKeyOrder());
-
-          // Phase 1: acquire everything (FIFO wait, no deadlock handling).
-          hal::Cycles t0 = hal::Now();
-          for (std::size_t i = 0; i < t.accesses.size(); ++i) {
-            const txn::Access& a = t.accesses[i];
-            lock::LockTable::AcquireResult r = lock_table.Acquire(
-                ctx, a.table, a.key, a.mode, /*policy=*/nullptr);
-            if (r == lock::LockTable::AcquireResult::kWaiting) {
-              const bool granted = lock_table.Wait(ctx, /*policy=*/nullptr);
-              ORTHRUS_CHECK_MSG(granted, "FIFO wait cannot abort");
-            }
-          }
-          st.Add(TimeCategory::kLocking, hal::Now() - t0);
-
-          // Phase 2: execute with all locks held.
-          t0 = hal::Now();
-          for (txn::Access& a : t.accesses) ResolveRow(db, &a);
-          txn::ExecContext ec{db, &st, /*charge_cycles=*/true};
-          const bool ok = t.logic->Run(&t, ec);
-          st.Add(TimeCategory::kExecution, hal::Now() - t0);
-
-          if (!ok) {
-            t0 = hal::Now();
-            lock_table.ReleaseAll(ctx);
-            st.Add(TimeCategory::kLocking, hal::Now() - t0);
-            if (!txn::OllpReplanAfterMismatch(&t, db, &st)) break;
-            continue;
-          }
-
-          t0 = hal::Now();
-          lock_table.ReleaseAll(ctx);
-          st.Add(TimeCategory::kLocking, hal::Now() - t0);
-          st.committed++;
-          st.txn_latency.Record(hal::Now() - t.start_cycles);
-          committed = true;
-        }
-      }
-      clock.Finish();
+  const runtime::DriverOptions dopts = MakeDriverOptions(options_);
+  for (int w = 0; w < n; ++w) {
+    pool.Spawn(w, [db, &workload, &lock_table, &ctxs,
+                   &dopts](runtime::WorkerContext& ctx) {
+      std::unique_ptr<workload::TxnSource> source =
+          workload.MakeSource(ctx.worker_id);
+      DeadlockFreeStrategy strategy(&lock_table, ctxs[ctx.worker_id], db,
+                                    &ctx.stats);
+      runtime::TxnDriver driver(dopts, db, source.get(), &strategy, &ctx);
+      driver.Run();
     });
   }
 
-  platform->Run();
-  return FinalizeRun(stats, clocks, cps);
+  return pool.Run();
 }
 
 }  // namespace orthrus::engine

@@ -11,6 +11,12 @@
 //   OrthrusEngine        — partitioned functionality: dedicated concurrency-
 //                          control cores + execution cores communicating by
 //                          message passing (the paper's contribution)
+//
+// The transaction lifecycle itself (admission, OLLP planning, deadline and
+// commit-cap gating, restart backoff, stat accounting) is shared: it lives
+// in src/runtime/, and the shared-everything engines are thin
+// runtime::ExecutionStrategy implementations over it. See
+// runtime/txn_driver.h for how to add a new architecture.
 #ifndef ORTHRUS_ENGINE_ENGINE_H_
 #define ORTHRUS_ENGINE_ENGINE_H_
 
@@ -19,6 +25,8 @@
 
 #include "common/stats.h"
 #include "hal/hal.h"
+#include "runtime/txn_driver.h"
+#include "runtime/worker_pool.h"
 #include "storage/database.h"
 #include "txn/txn.h"
 #include "workload/workload.h"
@@ -39,7 +47,25 @@ struct EngineOptions {
   // Lock-table sizing for the shared-everything engines.
   std::uint64_t lock_buckets = 1 << 16;
   std::uint64_t max_lock_heads = 1 << 22;
+
+  // Seed for the runtime layer's per-worker RNG streams (backoff policies
+  // and randomized strategies; the defaults never draw from them).
+  std::uint64_t rng_seed = 0;
+
+  // Optional override of the restart backoff (null = the default capped
+  // exponential with deterministic jitter). Not owned.
+  const runtime::BackoffPolicy* backoff = nullptr;
 };
+
+// Maps the engine-level options onto the runtime layer's driver knobs.
+inline runtime::DriverOptions MakeDriverOptions(const EngineOptions& o,
+                                                bool charge_admission = false) {
+  runtime::DriverOptions d;
+  d.max_txns_per_worker = o.max_txns_per_worker;
+  d.charge_admission = charge_admission;
+  d.backoff = o.backoff;
+  return d;
+}
 
 class Engine {
  public:
@@ -63,27 +89,6 @@ inline void ResolveRow(storage::Database* db, txn::Access* a) {
   a->row = t->Lookup(a->key, p);
   ORTHRUS_CHECK_MSG(a->row != nullptr, "access to missing key");
 }
-
-// Shared helper: per-worker deadline bookkeeping.
-struct WorkerClock {
-  hal::Cycles start = 0;
-  hal::Cycles deadline = 0;
-  hal::Cycles end = 0;
-
-  void Begin(double duration_seconds, double cycles_per_second) {
-    start = hal::Now();
-    deadline = start + static_cast<hal::Cycles>(duration_seconds *
-                                                cycles_per_second);
-  }
-  bool Expired() const { return hal::Now() >= deadline; }
-  void Finish() { end = hal::Now(); }
-};
-
-// Aggregates per-worker stats and computes elapsed time as the span from
-// the earliest worker start to the latest worker end.
-RunResult FinalizeRun(const std::vector<WorkerStats>& stats,
-                      const std::vector<WorkerClock>& clocks,
-                      double cycles_per_second);
 
 }  // namespace orthrus::engine
 

@@ -378,6 +378,8 @@ struct Shared {
   // Messages popped per PopBatch on the receive side; 1 is the unbatched
   // ablation baseline.
   std::size_t drain_batch = Mesh::kDefaultBatch;
+  // Sender visit order when draining (adaptive_drain ablation flag).
+  mp::DrainOrder drain_order = mp::DrainOrder::kRoundRobin;
   hal::Cycles cc_op_cycles = 20;
 
   // Queue meshes, indexed (sender, receiver).
@@ -429,10 +431,11 @@ class CcThread {
  private:
   bool DrainOnce() {
     const auto handle = [this](std::uint64_t w) { Handle(w); };
-    std::size_t n =
-        shared_->exec_to_cc.Drain(cc_id_, handle, shared_->drain_batch);
+    std::size_t n = shared_->exec_to_cc.Drain(
+        cc_id_, handle, shared_->drain_batch, shared_->drain_order);
     if (shared_->forwarding) {
-      n += shared_->cc_to_cc.Drain(cc_id_, handle, shared_->drain_batch);
+      n += shared_->cc_to_cc.Drain(cc_id_, handle, shared_->drain_batch,
+                                   shared_->drain_order);
     }
     return n != 0;
   }
@@ -614,17 +617,16 @@ class CcThread {
 class ExecThread {
  public:
   ExecThread(int exec_id, Shared* shared, storage::Database* db,
-             const workload::Workload& workload, WorkerStats* stats,
-             WorkerClock* clock, const EngineOptions& options,
-             int max_inflight)
+             const workload::Workload& workload,
+             runtime::WorkerContext* worker,
+             const runtime::DriverOptions& driver_options, int max_inflight)
       : exec_id_(exec_id),
         shared_(shared),
         db_(db),
-        stats_(stats),
-        clock_(clock),
-        options_(options),
-        max_inflight_(max_inflight) {
-    source_ = workload.MakeSource(shared->n_cc + exec_id);
+        stats_(&worker->stats),
+        max_inflight_(max_inflight),
+        source_(workload.MakeSource(shared->n_cc + exec_id)),
+        admission_(driver_options, db, source_.get(), worker) {
     tcbs_.resize(max_inflight);
     for (int i = 0; i < max_inflight; ++i) {
       tcbs_[i] = std::make_unique<Tcb>();
@@ -634,8 +636,11 @@ class ExecThread {
     }
   }
 
-  void Main(double cps) {
-    clock_->Begin(options_.duration_seconds, cps);
+  // Pipelined counterpart of runtime::TxnDriver::Run: the admission front
+  // end (gate, pull, plan, stamp) and replanning are the shared runtime's;
+  // only the in-flight window and the grant/ack event loop are ORTHRUS's
+  // own. Runs with the worker's clock already begun (WorkerPool::Spawn).
+  void Main() {
     hal::IdleBackoff idle(256);
     while (true) {
       bool progress = PollGrants();
@@ -650,15 +655,10 @@ class ExecThread {
       stats_->Add(TimeCategory::kWaiting, hal::Now() - t0);
     }
     shared_->execs_done.fetch_add(1);
-    clock_->Finish();
   }
 
  private:
-  bool Stopping() const {
-    return clock_->Expired() ||
-           (options_.max_txns_per_worker != 0 &&
-            stats_->committed >= options_.max_txns_per_worker);
-  }
+  bool Stopping() const { return !admission_.Open(); }
 
   bool PollGrants() {
     const std::size_t n = shared_->cc_to_exec.Drain(
@@ -682,7 +682,7 @@ class ExecThread {
               ORTHRUS_CHECK_MSG(false, "unexpected message at exec thread");
           }
         },
-        shared_->drain_batch);
+        shared_->drain_batch, shared_->drain_order);
     return n != 0;
   }
 
@@ -692,12 +692,7 @@ class ExecThread {
       const int slot = free_slots_.back();
       free_slots_.pop_back();
       Tcb* tcb = tcbs_[slot].get();
-      const hal::Cycles t0 = hal::Now();
-      source_->Next(&tcb->txn);
-      txn::OllpPlan(&tcb->txn, db_);  // may do reconnaissance reads
-      stats_->Add(TimeCategory::kExecution, hal::Now() - t0);
-      tcb->txn.start_cycles = hal::Now();
-      tcb->txn.restarts = 0;
+      admission_.Admit(&tcb->txn);  // pull + plan (reconnaissance) + stamp
       tcb->replan_pending = false;
       tcb->counted_commit = false;
       Dispatch(tcb);
@@ -798,7 +793,7 @@ class ExecThread {
     if (--tcb->pending_acks > 0) return;
     if (tcb->replan_pending) {
       tcb->replan_pending = false;
-      if (txn::OllpReplanAfterMismatch(&tcb->txn, db_, stats_)) {
+      if (admission_.planner()->Replan(&tcb->txn, stats_)) {
         // Re-dispatch the same transaction with the fresh estimate. The
         // slot stays occupied; inflight counters already include it.
         inflight_--;
@@ -817,10 +812,9 @@ class ExecThread {
   Shared* shared_;
   storage::Database* db_;
   WorkerStats* stats_;
-  WorkerClock* clock_;
-  EngineOptions options_;
   int max_inflight_;
   std::unique_ptr<workload::TxnSource> source_;
+  runtime::TxnAdmission admission_;
   std::vector<std::unique_ptr<Tcb>> tcbs_;
   std::vector<int> free_slots_;
   int inflight_ = 0;
@@ -840,6 +834,7 @@ std::string OrthrusEngine::name() const {
   std::string n = orthrus_.split_index ? "split-orthrus" : "orthrus";
   if (!orthrus_.forwarding) n += "-nofwd";
   if (!orthrus_.batched_mp) n += "-nobatch";
+  if (orthrus_.adaptive_drain) n += "-adaptive";
   if (orthrus_.shared_cc_table) n += "-sharedcc";
   return n;
 }
@@ -875,10 +870,14 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   shared.cc_to_cc.Reset(n_cc, n_cc, fq_cap);
   shared.cc_to_exec.Reset(n_cc, n_exec, gq_cap);
   if (!orthrus_.batched_mp) shared.drain_batch = 1;
+  if (orthrus_.adaptive_drain) {
+    shared.drain_order = mp::DrainOrder::kDeepestFirst;
+  }
 
-  std::vector<WorkerStats> stats(options_.num_cores);
-  std::vector<WorkerClock> clocks(options_.num_cores);
-  const double cps = platform->CyclesPerSecond();
+  runtime::WorkerPool pool(platform, options_.num_cores,
+                           options_.duration_seconds, options_.rng_seed);
+  const runtime::DriverOptions dopts =
+      MakeDriverOptions(options_, /*charge_admission=*/true);
 
   // CC lock tables start small and grow (address-stable) as each partition's
   // key footprint materializes.
@@ -887,37 +886,32 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   std::vector<std::unique_ptr<CcThread>> cc_threads;
   std::vector<std::unique_ptr<ExecThread>> exec_threads;
   for (int c = 0; c < n_cc; ++c) {
-    cc_threads.push_back(
-        std::make_unique<CcThread>(c, &shared, &stats[c], cc_lock_slots));
+    cc_threads.push_back(std::make_unique<CcThread>(
+        c, &shared, &pool.worker(c).stats, cc_lock_slots));
   }
   for (int e = 0; e < n_exec; ++e) {
     exec_threads.push_back(std::make_unique<ExecThread>(
-        e, &shared, db, workload, &stats[n_cc + e], &clocks[n_cc + e],
-        options_, orthrus_.max_inflight));
+        e, &shared, db, workload, &pool.worker(n_cc + e), dopts,
+        orthrus_.max_inflight));
   }
 
   for (int c = 0; c < n_cc; ++c) {
     CcThread* t = cc_threads[c].get();
-    WorkerClock* clock = &clocks[c];
-    platform->Spawn(c, [t, clock, this, cps]() {
-      clock->Begin(options_.duration_seconds, cps);
-      t->Main();
-      clock->Finish();
-    });
+    pool.Spawn(c, [t](runtime::WorkerContext&) { t->Main(); });
   }
   for (int e = 0; e < n_exec; ++e) {
     ExecThread* t = exec_threads[e].get();
-    platform->Spawn(n_cc + e, [t, cps]() { t->Main(cps); });
+    pool.Spawn(n_cc + e, [t](runtime::WorkerContext&) { t->Main(); });
   }
 
-  platform->Run();
+  pool.RunWorkers();
 
   // Consistency: every queue fully drained.
   ORTHRUS_CHECK(shared.exec_to_cc.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.cc_to_cc.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.cc_to_exec.SizeRawTotal() == 0);
 
-  return FinalizeRun(stats, clocks, cps);
+  return pool.Finalize();
 }
 
 }  // namespace orthrus::engine

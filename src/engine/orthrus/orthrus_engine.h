@@ -45,6 +45,12 @@ struct OrthrusOptions {
   // line-packed payload layout of mp::SpscQueue stays active either way.
   bool batched_mp = true;
 
+  // Adaptive drain order (mp::DrainOrder::kDeepestFirst): receivers serve
+  // their deepest input queue first instead of a fixed sender order.
+  // Deterministic, but a different event order than the fixed round-robin
+  // the equivalence digests are pinned to, so it is opt-in.
+  bool adaptive_drain = false;
+
   // Use physically partitioned indexes (SPLIT ORTHRUS, Section 4.3). The
   // database must then be loaded with num_table_partitions == num_cc.
   bool split_index = false;

@@ -4,9 +4,56 @@
 #include <memory>
 #include <vector>
 
-#include "txn/ollp.h"
-
 namespace orthrus::engine {
+namespace {
+
+// One attempt of H-Store-style partition-level locking: compute the
+// transaction's partition footprint, take the coarse per-partition locks
+// in ascending order (deadlock free by construction), execute, release.
+class PartitionedStrategy final : public runtime::ExecutionStrategy {
+ public:
+  PartitionedStrategy(std::vector<std::unique_ptr<hal::SpinLock>>* locks,
+                      storage::Database* db, WorkerStats* st)
+      : locks_(locks), db_(db), st_(st) {
+    parts_.reserve(16);
+  }
+
+  runtime::TxnOutcome TryExecute(txn::Txn* t) override {
+    // Partition footprint, ascending and deduplicated: the ascending order
+    // makes partition-lock acquisition deadlock free.
+    parts_.clear();
+    for (const txn::Access& a : t->accesses) {
+      parts_.push_back(db_->partitioner().PartOf(a.key));
+    }
+    std::sort(parts_.begin(), parts_.end());
+    parts_.erase(std::unique(parts_.begin(), parts_.end()), parts_.end());
+
+    hal::Cycles t0 = hal::Now();
+    for (int p : parts_) (*locks_)[p]->Lock();
+    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+
+    t0 = hal::Now();
+    for (txn::Access& a : t->accesses) ResolveRow(db_, &a);
+    txn::ExecContext ec{db_, st_, /*charge_cycles=*/true};
+    const bool ok = t->logic->Run(t, ec);
+    st_->Add(TimeCategory::kExecution, hal::Now() - t0);
+
+    t0 = hal::Now();
+    for (int p : parts_) (*locks_)[p]->Unlock();
+    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+
+    return ok ? runtime::TxnOutcome::kCommitted
+              : runtime::TxnOutcome::kMismatch;
+  }
+
+ private:
+  std::vector<std::unique_ptr<hal::SpinLock>>* locks_;
+  storage::Database* db_;
+  WorkerStats* st_;
+  std::vector<int> parts_;
+};
+
+}  // namespace
 
 RunResult PartitionedEngine::Run(hal::Platform* platform,
                                  storage::Database* db,
@@ -23,69 +70,21 @@ RunResult PartitionedEngine::Run(hal::Platform* platform,
     partition_locks.push_back(std::make_unique<hal::SpinLock>());
   }
 
-  std::vector<WorkerStats> stats(n);
-  std::vector<WorkerClock> clocks(n);
-  const double cps = platform->CyclesPerSecond();
-
+  runtime::WorkerPool pool(platform, n, options_.duration_seconds,
+                           options_.rng_seed);
+  const runtime::DriverOptions dopts = MakeDriverOptions(options_);
   for (int w = 0; w < n; ++w) {
-    platform->Spawn(w, [this, w, db, &workload, &partition_locks, &stats,
-                        &clocks, cps]() {
-      WorkerStats& st = stats[w];
-      WorkerClock& clock = clocks[w];
-      std::unique_ptr<workload::TxnSource> source = workload.MakeSource(w);
-      txn::Txn t;
-      std::vector<int> parts;
-      parts.reserve(16);
-      clock.Begin(options_.duration_seconds, cps);
-
-      while (!clock.Expired() &&
-             (options_.max_txns_per_worker == 0 ||
-              st.committed < options_.max_txns_per_worker)) {
-        source->Next(&t);
-        txn::OllpPlan(&t, db);
-        t.start_cycles = hal::Now();
-        t.restarts = 0;
-
-        bool committed = false;
-        while (!committed) {
-          // Partition footprint, ascending and deduplicated: the ascending
-          // order makes partition-lock acquisition deadlock free.
-          parts.clear();
-          for (const txn::Access& a : t.accesses) {
-            parts.push_back(db->partitioner().PartOf(a.key));
-          }
-          std::sort(parts.begin(), parts.end());
-          parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
-
-          hal::Cycles t0 = hal::Now();
-          for (int p : parts) partition_locks[p]->Lock();
-          st.Add(TimeCategory::kLocking, hal::Now() - t0);
-
-          t0 = hal::Now();
-          for (txn::Access& a : t.accesses) ResolveRow(db, &a);
-          txn::ExecContext ec{db, &st, /*charge_cycles=*/true};
-          const bool ok = t.logic->Run(&t, ec);
-          st.Add(TimeCategory::kExecution, hal::Now() - t0);
-
-          t0 = hal::Now();
-          for (int p : parts) partition_locks[p]->Unlock();
-          st.Add(TimeCategory::kLocking, hal::Now() - t0);
-
-          if (!ok) {
-            if (!txn::OllpReplanAfterMismatch(&t, db, &st)) break;
-            continue;
-          }
-          st.committed++;
-          st.txn_latency.Record(hal::Now() - t.start_cycles);
-          committed = true;
-        }
-      }
-      clock.Finish();
+    pool.Spawn(w, [db, &workload, &partition_locks,
+                   &dopts](runtime::WorkerContext& ctx) {
+      std::unique_ptr<workload::TxnSource> source =
+          workload.MakeSource(ctx.worker_id);
+      PartitionedStrategy strategy(&partition_locks, db, &ctx.stats);
+      runtime::TxnDriver driver(dopts, db, source.get(), &strategy, &ctx);
+      driver.Run();
     });
   }
 
-  platform->Run();
-  return FinalizeRun(stats, clocks, cps);
+  return pool.Run();
 }
 
 }  // namespace orthrus::engine

@@ -2,9 +2,82 @@
 
 #include <vector>
 
-#include "txn/ollp.h"
-
 namespace orthrus::engine {
+namespace {
+
+// One attempt of conventional dynamic 2PL: acquire each lock at the
+// access's turn (deadlock handling per the configured policy), do that
+// access's share of the work while holding it, then run the procedure's
+// memory effects with all locks held.
+class TwoPlStrategy final : public runtime::ExecutionStrategy {
+ public:
+  TwoPlStrategy(lock::LockTable* lock_table, lock::WorkerLockCtx* ctx,
+                lock::DeadlockPolicy* policy, storage::Database* db,
+                WorkerStats* st)
+      : lock_table_(lock_table), ctx_(ctx), policy_(policy), db_(db),
+        st_(st) {}
+
+  runtime::TxnOutcome TryExecute(txn::Txn* t) override {
+    ctx_->txn_timestamp = t->timestamp;
+    bool aborted = false;
+
+    for (std::size_t i = 0; i < t->accesses.size(); ++i) {
+      txn::Access& a = t->accesses[i];
+      hal::Cycles t0 = hal::Now();
+      lock::LockTable::AcquireResult r =
+          lock_table_->Acquire(ctx_, a.table, a.key, a.mode, policy_);
+      if (r == lock::LockTable::AcquireResult::kWaiting) {
+        st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+        if (!lock_table_->Wait(ctx_, policy_)) {
+          aborted = true;
+          break;
+        }
+        t0 = hal::Now();
+      } else if (r == lock::LockTable::AcquireResult::kDie) {
+        st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+        aborted = true;
+        break;
+      }
+      st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+
+      t0 = hal::Now();
+      ResolveRow(db_, &a);
+      hal::ConsumeCycles(t->logic->OpCost(t, i, db_));
+      st_->Add(TimeCategory::kExecution, hal::Now() - t0);
+    }
+
+    if (aborted) {
+      Release();
+      return runtime::TxnOutcome::kAbort;
+    }
+
+    // All locks held, per-access work charged: apply the procedure's real
+    // memory effects without double-charging cycles.
+    hal::Cycles t0 = hal::Now();
+    txn::ExecContext ec{db_, st_, /*charge_cycles=*/false};
+    const bool ok = t->logic->Run(t, ec);
+    st_->Add(TimeCategory::kExecution, hal::Now() - t0);
+
+    Release();
+    return ok ? runtime::TxnOutcome::kCommitted
+              : runtime::TxnOutcome::kMismatch;
+  }
+
+ private:
+  void Release() {
+    const hal::Cycles t0 = hal::Now();
+    lock_table_->ReleaseAll(ctx_);
+    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+  }
+
+  lock::LockTable* lock_table_;
+  lock::WorkerLockCtx* ctx_;
+  lock::DeadlockPolicy* policy_;
+  storage::Database* db_;
+  WorkerStats* st_;
+};
+
+}  // namespace
 
 TwoPlEngine::TwoPlEngine(EngineOptions options, DeadlockPolicyKind policy)
     : options_(options), policy_kind_(policy) {}
@@ -44,116 +117,31 @@ RunResult TwoPlEngine::Run(hal::Platform* platform, storage::Database* db,
   lt_config.max_workers = n;
   lock::LockTable lock_table(lt_config);
 
-  std::vector<WorkerStats> stats(n);
-  std::vector<WorkerClock> clocks(n);
+  runtime::WorkerPool pool(platform, n, options_.duration_seconds,
+                           options_.rng_seed);
   std::unique_ptr<lock::DeadlockPolicy> policy = MakePolicy();
 
   // Worker contexts are registered up front (single-threaded) so no
   // registration races exist at run time.
   std::vector<lock::WorkerLockCtx*> ctxs(n);
-  for (int w = 0; w < n; ++w) ctxs[w] = lock_table.RegisterWorker(w, &stats[w]);
-
-  const double cps = platform->CyclesPerSecond();
   for (int w = 0; w < n; ++w) {
-    platform->Spawn(w, [this, w, db, &workload, &lock_table, &stats, &clocks,
-                        &ctxs, policy = policy.get(), cps]() {
-      WorkerStats& st = stats[w];
-      WorkerClock& clock = clocks[w];
-      lock::WorkerLockCtx* ctx = ctxs[w];
-      std::unique_ptr<workload::TxnSource> source = workload.MakeSource(w);
-      txn::Txn t;
-      std::uint64_t ts_counter = 0;
-      clock.Begin(options_.duration_seconds, cps);
+    ctxs[w] = lock_table.RegisterWorker(w, &pool.worker(w).stats);
+  }
 
-      while (!clock.Expired() &&
-             (options_.max_txns_per_worker == 0 ||
-              st.committed < options_.max_txns_per_worker)) {
-        source->Next(&t);
-        txn::OllpPlan(&t, db);
-        // Timestamps order transactions by age for wait-die; kept across
-        // restarts so old transactions eventually win. Low bits break ties
-        // between workers.
-        t.timestamp = (++ts_counter << 8) | static_cast<std::uint64_t>(w);
-        t.start_cycles = hal::Now();
-        t.restarts = 0;
-
-        bool committed = false;
-        while (!committed) {
-          ctx->txn_timestamp = t.timestamp;
-          bool aborted = false;
-
-          // Dynamic 2PL: acquire each lock at the access's turn, then do
-          // that access's share of the work while holding it.
-          for (std::size_t i = 0; i < t.accesses.size(); ++i) {
-            txn::Access& a = t.accesses[i];
-            hal::Cycles t0 = hal::Now();
-            lock::LockTable::AcquireResult r = lock_table.Acquire(
-                ctx, a.table, a.key, a.mode, policy);
-            if (r == lock::LockTable::AcquireResult::kWaiting) {
-              st.Add(TimeCategory::kLocking, hal::Now() - t0);
-              if (!lock_table.Wait(ctx, policy)) {
-                aborted = true;
-                break;
-              }
-              t0 = hal::Now();
-            } else if (r == lock::LockTable::AcquireResult::kDie) {
-              st.Add(TimeCategory::kLocking, hal::Now() - t0);
-              aborted = true;
-              break;
-            }
-            st.Add(TimeCategory::kLocking, hal::Now() - t0);
-
-            t0 = hal::Now();
-            ResolveRow(db, &a);
-            hal::ConsumeCycles(t.logic->OpCost(&t, i, db));
-            st.Add(TimeCategory::kExecution, hal::Now() - t0);
-          }
-
-          if (aborted) {
-            hal::Cycles t0 = hal::Now();
-            lock_table.ReleaseAll(ctx);
-            st.Add(TimeCategory::kLocking, hal::Now() - t0);
-            st.aborted++;
-            t.restarts++;
-            // Brief jittered backoff before retrying (grows with restart
-            // count, capped) to let the conflicting older txn finish.
-            hal::ConsumeCycles(
-                (100ull << std::min<std::uint32_t>(t.restarts, 4)) +
-                hal::FastJitter(256));
-            hal::CpuRelax();
-            continue;
-          }
-
-          // All locks held, per-access work charged: apply the procedure's
-          // real memory effects without double-charging cycles.
-          hal::Cycles t0 = hal::Now();
-          txn::ExecContext ec{db, &st, /*charge_cycles=*/false};
-          const bool ok = t.logic->Run(&t, ec);
-          st.Add(TimeCategory::kExecution, hal::Now() - t0);
-
-          if (!ok) {
-            // Stale OLLP estimate (data-dependent access set changed).
-            t0 = hal::Now();
-            lock_table.ReleaseAll(ctx);
-            st.Add(TimeCategory::kLocking, hal::Now() - t0);
-            if (!txn::OllpReplanAfterMismatch(&t, db, &st)) break;
-            continue;
-          }
-
-          t0 = hal::Now();
-          lock_table.ReleaseAll(ctx);
-          st.Add(TimeCategory::kLocking, hal::Now() - t0);
-          st.committed++;
-          st.txn_latency.Record(hal::Now() - t.start_cycles);
-          committed = true;
-        }
-      }
-      clock.Finish();
+  const runtime::DriverOptions dopts = MakeDriverOptions(options_);
+  for (int w = 0; w < n; ++w) {
+    pool.Spawn(w, [db, &workload, &lock_table, &ctxs, &dopts,
+                   policy = policy.get()](runtime::WorkerContext& ctx) {
+      std::unique_ptr<workload::TxnSource> source =
+          workload.MakeSource(ctx.worker_id);
+      TwoPlStrategy strategy(&lock_table, ctxs[ctx.worker_id], policy, db,
+                             &ctx.stats);
+      runtime::TxnDriver driver(dopts, db, source.get(), &strategy, &ctx);
+      driver.Run();
     });
   }
 
-  platform->Run();
-  return FinalizeRun(stats, clocks, cps);
+  return pool.Run();
 }
 
 }  // namespace orthrus::engine

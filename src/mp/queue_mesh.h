@@ -17,6 +17,7 @@
 #ifndef ORTHRUS_MP_QUEUE_MESH_H_
 #define ORTHRUS_MP_QUEUE_MESH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -26,6 +27,20 @@
 #include "mp/spsc_queue.h"
 
 namespace orthrus::mp {
+
+// Order in which Drain visits the queues addressed to a receiver.
+enum class DrainOrder {
+  // Fixed sender order 0..N-1. The default: zero bookkeeping, and the
+  // bit-stable event order the engine equivalence digests are pinned to.
+  kRoundRobin,
+  // Snapshot consumer-visible depths, then serve the deepest queue first
+  // (ties broken by sender id, so the order stays deterministic). Under
+  // bursty or skewed fan-in the deepest queue bounds the burst's drain
+  // latency and marks the sender closest to blocking on a full queue, so
+  // serving it first cuts tail latency and Send backpressure. Costs one
+  // tail-index load per sender up front.
+  kDeepestFirst,
+};
 
 template <typename T>
 class QueueMesh {
@@ -51,6 +66,14 @@ class QueueMesh {
     queues_.reserve(static_cast<std::size_t>(senders) * receivers);
     for (int i = 0; i < senders * receivers; ++i) {
       queues_.push_back(std::make_unique<SpscQueue<T>>(capacity));
+    }
+    // Per-receiver depth scratch, pre-sized so the adaptive drain never
+    // allocates on the hot path. Each receiver thread touches only its own
+    // cache-line-aligned entry.
+    depth_scratch_.assign(static_cast<std::size_t>(receivers),
+                          ReceiverScratch{});
+    for (ReceiverScratch& s : depth_scratch_) {
+      s.depths.reserve(static_cast<std::size_t>(senders));
     }
   }
 
@@ -79,13 +102,33 @@ class QueueMesh {
   // Drains every queue addressed to `receiver`, invoking fn(message) on
   // each message in per-sender FIFO order. Pops in batches of up to
   // `max_batch` (clamped to one payload line). Returns messages delivered.
+  // `order` picks the sender visit order; see DrainOrder.
   template <typename Fn>
   std::size_t Drain(int receiver, Fn&& fn,
-                    std::size_t max_batch = kDefaultBatch) {
+                    std::size_t max_batch = kDefaultBatch,
+                    DrainOrder order = DrainOrder::kRoundRobin) {
     const std::size_t batch =
         max_batch < kDefaultBatch ? max_batch : kDefaultBatch;
     T buf[kDefaultBatch];
     std::size_t delivered = 0;
+    if (order == DrainOrder::kDeepestFirst && senders_ > 1) {
+      std::vector<DepthEntry>& depths = depth_scratch_[receiver].depths;
+      depths.clear();
+      for (int s = 0; s < senders_; ++s) {
+        const std::size_t d = at(s, receiver).SizeConsumer();
+        if (d != 0) depths.push_back({d, s});
+      }
+      std::sort(depths.begin(), depths.end());
+      for (const DepthEntry& e : depths) {
+        SpscQueue<T>& q = at(e.sender, receiver);
+        std::size_t n;
+        while ((n = q.PopBatch(buf, batch)) != 0) {
+          for (std::size_t i = 0; i < n; ++i) fn(buf[i]);
+          delivered += n;
+        }
+      }
+      return delivered;
+    }
     for (int s = 0; s < senders_; ++s) {
       SpscQueue<T>& q = at(s, receiver);
       std::size_t n;
@@ -105,9 +148,27 @@ class QueueMesh {
   }
 
  private:
+  // Deepest first, ties by sender id: a total order, so the adaptive drain
+  // stays deterministic.
+  struct DepthEntry {
+    std::size_t depth;
+    int sender;
+    bool operator<(const DepthEntry& o) const {
+      if (depth != o.depth) return depth > o.depth;
+      return sender < o.sender;
+    }
+  };
+
+  // Line-aligned so adjacent receivers' vector headers never share a cache
+  // line (each receiver mutates its header on every adaptive drain).
+  struct alignas(kCacheLineSize) ReceiverScratch {
+    std::vector<DepthEntry> depths;
+  };
+
   int senders_ = 0;
   int receivers_ = 0;
   std::vector<std::unique_ptr<SpscQueue<T>>> queues_;
+  std::vector<ReceiverScratch> depth_scratch_;
 };
 
 }  // namespace orthrus::mp

@@ -1,0 +1,46 @@
+#include "runtime/txn_driver.h"
+
+namespace orthrus::runtime {
+
+TxnDriver::TxnDriver(const DriverOptions& options, storage::Database* db,
+                     workload::TxnSource* source, ExecutionStrategy* strategy,
+                     WorkerContext* ctx)
+    : admission_(options, db, source, ctx),
+      strategy_(strategy),
+      ctx_(ctx),
+      backoff_(options.backoff != nullptr ? options.backoff
+                                          : &default_backoff_) {}
+
+void TxnDriver::Run() {
+  txn::Txn t;
+  while (admission_.Open()) {
+    admission_.Admit(&t);
+    bool done = false;
+    while (!done) {
+      switch (strategy_->TryExecute(&t)) {
+        case TxnOutcome::kCommitted:
+          ctx_->stats.committed++;
+          ctx_->stats.txn_latency.Record(hal::Now() - t.start_cycles);
+          done = true;
+          break;
+        case TxnOutcome::kAbort:
+          // Deadlock handling killed the attempt. Brief backoff (grows
+          // with the restart count, capped) lets the conflicting older
+          // transaction finish before we retry.
+          ctx_->stats.aborted++;
+          ctx_->stats.backoffs++;
+          t.restarts++;
+          hal::ConsumeCycles(backoff_->Delay(t.restarts, &ctx_->rng));
+          hal::CpuRelax();
+          break;
+        case TxnOutcome::kMismatch:
+          // Stale OLLP estimate: re-plan with a fresh reconnaissance pass.
+          // A transaction that exhausts its retry budget is dropped.
+          if (!admission_.planner()->Replan(&t, &ctx_->stats)) done = true;
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace orthrus::runtime

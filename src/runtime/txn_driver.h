@@ -1,0 +1,156 @@
+// Shared transaction-runtime layer, part 2: the per-worker transaction
+// lifecycle.
+//
+// Every architecture in the paper runs the same loop around its
+// concurrency control: pull a transaction from the worker's source, plan
+// its access set (OLLP reconnaissance when data-dependent), stamp it,
+// try to execute it until it commits — backing off after deadlock aborts
+// and re-planning after stale-estimate aborts — all gated by the run
+// deadline and an optional per-worker commit cap. Before this layer each
+// engine re-implemented that loop; now an engine supplies only an
+// ExecutionStrategy (how one attempt acquires locks and runs logic) and
+// the TxnDriver owns everything else.
+//
+// ORTHRUS's execution threads pipeline several transactions and therefore
+// cannot use the sequential driver loop; they share the same admission
+// front end (TxnAdmission) and planner instead, so admission, stamping,
+// gating, and replanning still have exactly one implementation.
+#ifndef ORTHRUS_RUNTIME_TXN_DRIVER_H_
+#define ORTHRUS_RUNTIME_TXN_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/worker_pool.h"
+#include "txn/ollp.h"
+#include "txn/txn.h"
+#include "workload/workload.h"
+
+namespace orthrus::runtime {
+
+// Result of one execution attempt. The strategy must return with no locks
+// held in every case.
+enum class TxnOutcome {
+  kCommitted,  // logic ran and committed
+  kAbort,      // deadlock handling killed the attempt; retry after backoff
+  kMismatch,   // stale OLLP estimate; re-plan and retry
+};
+
+// One attempt at executing a planned transaction. Implementations hold the
+// per-worker state they need (lock-table context, partition locks, ...);
+// the driver owns retries, backoff, re-planning, and commit accounting.
+class ExecutionStrategy {
+ public:
+  virtual ~ExecutionStrategy() = default;
+  virtual TxnOutcome TryExecute(txn::Txn* t) = 0;
+};
+
+// Restart backoff, configured in one place and ablatable. The default is
+// the capped exponential with deterministic per-core jitter that 2PL has
+// always used: (base << min(restarts, max_shift)) + FastJitter(jitter).
+// `rng` is the worker's seeded stream, for randomized policies; the
+// default policy deliberately uses hal::FastJitter instead so simulator
+// runs stay bit-reproducible with the pre-runtime-layer engines.
+class BackoffPolicy {
+ public:
+  hal::Cycles base = 100;
+  std::uint32_t max_shift = 4;
+  hal::Cycles jitter = 256;
+
+  virtual ~BackoffPolicy() = default;
+
+  // `restarts` is the transaction's restart count including the abort that
+  // triggered this call.
+  virtual hal::Cycles Delay(std::uint32_t restarts, Rng* rng) const {
+    (void)rng;
+    return (base << (restarts < max_shift ? restarts : max_shift)) +
+           hal::FastJitter(jitter);
+  }
+};
+
+struct DriverOptions {
+  // The run deadline is not configured here: it lives in the worker's
+  // WorkerClock, which WorkerPool::Spawn begins with the pool's duration —
+  // one source of truth for admission gating and elapsed-time reporting.
+
+  // Optional commit cap per worker (0 = unlimited).
+  std::uint64_t max_txns_per_worker = 0;
+
+  // Charge source pull + planning to TimeCategory::kExecution. The
+  // message-passing engines account admission this way; the
+  // shared-everything engines historically did not.
+  bool charge_admission = false;
+
+  // Restart backoff; null selects the default capped-jitter policy.
+  const BackoffPolicy* backoff = nullptr;
+};
+
+// Admission front end: the deadline/cap gate plus pull-plan-stamp of the
+// next transaction. Sequential engines use it through TxnDriver; pipelined
+// engines (ORTHRUS) drive it directly.
+class TxnAdmission {
+ public:
+  TxnAdmission(const DriverOptions& options, storage::Database* db,
+               workload::TxnSource* source, WorkerContext* ctx)
+      : options_(options), planner_(db), source_(source), ctx_(ctx) {}
+
+  // True while the worker may start another transaction.
+  bool Open() const {
+    return !ctx_->clock.Expired() &&
+           (options_.max_txns_per_worker == 0 ||
+            ctx_->stats.committed < options_.max_txns_per_worker);
+  }
+
+  // Fills `t` with the next transaction: source pull, OLLP plan, wait-die
+  // timestamp (age-ordered, low bits break ties between workers), latency
+  // start stamp, restart counter reset.
+  void Admit(txn::Txn* t) {
+    const hal::Cycles t0 = hal::Now();
+    source_->Next(t);
+    planner_.Plan(t);
+    if (options_.charge_admission) {
+      ctx_->stats.Add(TimeCategory::kExecution, hal::Now() - t0);
+    }
+    t->timestamp = (++ts_counter_ << 8) |
+                   static_cast<std::uint64_t>(ctx_->worker_id);
+    t->start_cycles = hal::Now();
+    t->restarts = 0;
+  }
+
+  txn::OllpPlanner* planner() { return &planner_; }
+  WorkerContext* context() { return ctx_; }
+
+ private:
+  DriverOptions options_;
+  txn::OllpPlanner planner_;
+  workload::TxnSource* source_;
+  WorkerContext* ctx_;
+  std::uint64_t ts_counter_ = 0;
+};
+
+// The sequential per-worker loop: admit, attempt until committed (with
+// backoff after aborts and re-planning after mismatches), account the
+// commit, repeat until the gate closes.
+class TxnDriver {
+ public:
+  TxnDriver(const DriverOptions& options, storage::Database* db,
+            workload::TxnSource* source, ExecutionStrategy* strategy,
+            WorkerContext* ctx);
+
+  // Runs the loop to completion. The worker's clock must already be begun
+  // (WorkerPool::Spawn does this).
+  void Run();
+
+  TxnAdmission& admission() { return admission_; }
+
+ private:
+  TxnAdmission admission_;
+  ExecutionStrategy* strategy_;
+  WorkerContext* ctx_;
+  const BackoffPolicy* backoff_;
+  BackoffPolicy default_backoff_;
+};
+
+}  // namespace orthrus::runtime
+
+#endif  // ORTHRUS_RUNTIME_TXN_DRIVER_H_

@@ -1,0 +1,67 @@
+#include "runtime/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace orthrus::runtime {
+namespace {
+
+// SplitMix64 over (seed, worker id): distinct, well-mixed per-worker
+// streams even for adjacent ids and a zero pool seed.
+std::uint64_t MixSeed(std::uint64_t seed, int worker_id) {
+  std::uint64_t z =
+      seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(worker_id + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(hal::Platform* platform, int num_workers,
+                       double duration_seconds, std::uint64_t rng_seed)
+    : platform_(platform),
+      duration_seconds_(duration_seconds),
+      cps_(platform->CyclesPerSecond()),
+      workers_(num_workers) {
+  for (int w = 0; w < num_workers; ++w) {
+    workers_[w].worker_id = w;
+    workers_[w].rng.Seed(MixSeed(rng_seed, w));
+  }
+}
+
+void WorkerPool::Spawn(int w, std::function<void(WorkerContext&)> body) {
+  WorkerContext* ctx = &workers_[w];
+  platform_->Spawn(w, [this, ctx, body = std::move(body)]() {
+    ctx->clock.Begin(duration_seconds_, cps_);
+    body(*ctx);
+    ctx->clock.Finish();
+  });
+}
+
+RunResult WorkerPool::Run() {
+  RunWorkers();
+  return Finalize();
+}
+
+void WorkerPool::RunWorkers() { platform_->Run(); }
+
+RunResult WorkerPool::Finalize() const {
+  RunResult result;
+  result.per_worker.reserve(workers_.size());
+  hal::Cycles min_start = ~0ull;
+  hal::Cycles max_end = 0;
+  for (const WorkerContext& w : workers_) {
+    result.per_worker.push_back(w.stats);
+    result.total.Merge(w.stats);
+    min_start = std::min(min_start, w.clock.start);
+    max_end = std::max(max_end, w.clock.end);
+  }
+  if (max_end > min_start) {
+    result.elapsed_seconds =
+        static_cast<double>(max_end - min_start) / cps_;
+  }
+  return result;
+}
+
+}  // namespace orthrus::runtime

@@ -32,6 +32,38 @@ bool OllpReplanAfterMismatch(Txn* t, storage::Database* db,
 
 inline constexpr std::uint32_t kMaxOllpRetries = 64;
 
+// Driver-facing planning interface: binds the OLLP entry points to one
+// database and counts planning activity. The runtime layer's TxnDriver (and
+// ORTHRUS's pipelined admission path) talk to this object instead of the
+// free functions, so planning policy can evolve (e.g. cached estimates,
+// adaptive reconnaissance depth) without touching any engine.
+class OllpPlanner {
+ public:
+  explicit OllpPlanner(storage::Database* db) : db_(db) {}
+
+  // Plans a freshly admitted transaction's access set.
+  void Plan(Txn* t) {
+    plans_++;
+    OllpPlan(t, db_);
+  }
+
+  // Handles a stale-estimate abort; returns whether the transaction may
+  // retry (false once the retry budget is exhausted).
+  bool Replan(Txn* t, WorkerStats* stats) {
+    replans_++;
+    return OllpReplanAfterMismatch(t, db_, stats);
+  }
+
+  storage::Database* db() const { return db_; }
+  std::uint64_t plans() const { return plans_; }
+  std::uint64_t replans() const { return replans_; }
+
+ private:
+  storage::Database* db_;
+  std::uint64_t plans_ = 0;
+  std::uint64_t replans_ = 0;
+};
+
 }  // namespace orthrus::txn
 
 #endif  // ORTHRUS_TXN_OLLP_H_

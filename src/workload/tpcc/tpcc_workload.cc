@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fnv.h"
 #include "common/rng.h"
 
 namespace orthrus::workload::tpcc {
@@ -243,6 +244,47 @@ std::uint64_t TpccWorkload::TotalOrdersDelivered(
         static_cast<const DistrictRow*>(t->RowBySlot(s))->delivered_o_id - 1;
   }
   return sum;
+}
+
+std::uint64_t TpccWorkload::CanonicalDigest(
+    const storage::Database& db) const {
+  Fnv1a fnv;
+  const auto mix = [&fnv](std::uint64_t v) { fnv.Mix(v); };
+  // Named columns only: row padding and ring-placement state are not part
+  // of the canonical image. Slot order is the (deterministic) load order.
+  const storage::Table* warehouse = db.GetTable(kWarehouse);
+  for (std::uint64_t s = 0; s < warehouse->size(); ++s) {
+    const auto* r = static_cast<const WarehouseRow*>(warehouse->RowBySlot(s));
+    mix(r->ytd_cents);
+    mix(r->tax_bp);
+  }
+  const storage::Table* district = db.GetTable(kDistrict);
+  for (std::uint64_t s = 0; s < district->size(); ++s) {
+    const auto* r = static_cast<const DistrictRow*>(district->RowBySlot(s));
+    mix(r->ytd_cents);
+    mix(r->tax_bp);
+    mix(r->next_o_id);
+    mix(r->history_cnt);
+    mix(r->delivered_o_id);
+  }
+  const storage::Table* customer = db.GetTable(kCustomer);
+  for (std::uint64_t s = 0; s < customer->size(); ++s) {
+    const auto* r = static_cast<const CustomerRow*>(customer->RowBySlot(s));
+    mix(static_cast<std::uint64_t>(r->balance_cents));
+    mix(r->ytd_payment_cents);
+    mix(r->payment_cnt);
+    mix(r->last_name_code);
+    mix(r->credit_ok);
+  }
+  const storage::Table* stock = db.GetTable(kStock);
+  for (std::uint64_t s = 0; s < stock->size(); ++s) {
+    const auto* r = static_cast<const StockRow*>(stock->RowBySlot(s));
+    mix(r->quantity);
+    mix(r->ytd);
+    mix(r->order_cnt);
+    mix(r->remote_cnt);
+  }
+  return fnv.digest();
 }
 
 }  // namespace orthrus::workload::tpcc

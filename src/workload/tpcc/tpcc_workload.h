@@ -154,6 +154,16 @@ class TpccWorkload final : public Workload {
   // deliveries' order count.
   std::uint64_t TotalOrdersDelivered(const storage::Database& db) const;
 
+  // Canonical digest of the lock-managed tables: FNV-1a over the
+  // interleaving-independent columns of warehouse, district, customer, and
+  // stock rows in slot order. Committed transactions are commutative on
+  // these columns (sums and counters over huge initial stock), so two runs
+  // that commit the same transaction multiset digest identically no matter
+  // how each architecture interleaved them — the property the cross-engine
+  // equivalence test pins. The append rings (orders, order lines, history)
+  // are deliberately excluded: their slot contents depend on commit order.
+  std::uint64_t CanonicalDigest(const storage::Database& db) const;
+
   static constexpr std::uint64_t kInitialStockQuantity = 1ull << 20;
 
  private:

@@ -45,6 +45,19 @@ TEST(SpscQueue, EmptyProbe) {
   EXPECT_TRUE(q.Empty());
 }
 
+TEST(SpscQueue, SizeConsumerTracksOccupancy) {
+  SpscQueue<std::uint64_t> q(8);
+  EXPECT_EQ(q.SizeConsumer(), 0u);
+  q.TryEnqueue(1);
+  q.TryEnqueue(2);
+  EXPECT_EQ(q.SizeConsumer(), 2u);  // refreshes the cached tail
+  std::uint64_t v;
+  q.TryDequeue(&v);
+  EXPECT_EQ(q.SizeConsumer(), 1u);
+  q.TryDequeue(&v);
+  EXPECT_EQ(q.SizeConsumer(), 0u);
+}
+
 TEST(SpscQueue, WraparoundManyTimes) {
   SpscQueue<std::uint64_t> q(4);
   std::uint64_t v;
@@ -368,6 +381,87 @@ TEST(QueueMesh, UnbatchedDrainDeliversTheSameMessages) {
       EXPECT_EQ(got[idx++], s * 100 + i);
     }
   }
+}
+
+TEST(QueueMesh, AdaptiveDrainServesDeepestQueueFirst) {
+  // Sender depths 2 / 5 / 3: deepest-first delivery must visit sender 1,
+  // then sender 2, then sender 0, preserving per-sender FIFO within each.
+  QueueMesh<std::uint64_t> mesh(3, 1, 16);
+  const std::size_t depth[3] = {2, 5, 3};
+  for (int s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < depth[s]; ++i) {
+      mesh.Send(s, 0, static_cast<std::uint64_t>(s) * 100 + i);
+    }
+  }
+  std::vector<std::uint64_t> got;
+  const std::size_t n = mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); },
+      QueueMesh<std::uint64_t>::kDefaultBatch, DrainOrder::kDeepestFirst);
+  EXPECT_EQ(n, 10u);
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t i = 0; i < 5; ++i) want.push_back(100 + i);
+  for (std::uint64_t i = 0; i < 3; ++i) want.push_back(200 + i);
+  for (std::uint64_t i = 0; i < 2; ++i) want.push_back(i);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+}
+
+TEST(QueueMesh, AdaptiveDrainBreaksDepthTiesBySenderId) {
+  // Equal depths must fall back to ascending sender order so the adaptive
+  // drain stays deterministic.
+  QueueMesh<std::uint64_t> mesh(4, 1, 16);
+  for (int s = 3; s >= 0; --s) {
+    mesh.Send(s, 0, static_cast<std::uint64_t>(s) * 10);
+    mesh.Send(s, 0, static_cast<std::uint64_t>(s) * 10 + 1);
+  }
+  std::vector<std::uint64_t> got;
+  mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); },
+      QueueMesh<std::uint64_t>::kDefaultBatch, DrainOrder::kDeepestFirst);
+  const std::vector<std::uint64_t> want = {0, 1, 10, 11, 20, 21, 30, 31};
+  EXPECT_EQ(got, want);
+}
+
+TEST(QueueMesh, AdaptiveDrainDeliversEverythingUnderStress) {
+  // Skewed native-thread fan-in: adaptivity must never lose, duplicate, or
+  // reorder messages within a sender.
+  constexpr int kSenders = 3;
+  constexpr std::uint64_t kPer = 30000;
+  QueueMesh<std::uint64_t> mesh(kSenders, 1, 128);
+  hal::NativePlatform platform(kSenders + 1);
+  for (int s = 0; s < kSenders; ++s) {
+    platform.Spawn(s, [&mesh, s] {
+      // Skew: sender s sends (s+1)/3 of the heaviest stream.
+      const std::uint64_t mine = kPer * (s + 1) / kSenders;
+      for (std::uint64_t i = 0; i < mine; ++i) {
+        mesh.Send(s, 0, static_cast<std::uint64_t>(s) * kPer + i);
+      }
+    });
+  }
+  std::uint64_t total = 0;
+  for (int s = 0; s < kSenders; ++s) total += kPer * (s + 1) / kSenders;
+  std::uint64_t received = 0;
+  std::uint64_t next_from[kSenders] = {0, 0, 0};
+  bool ok = true;
+  platform.Spawn(kSenders, [&] {
+    while (received < total) {
+      const std::size_t n = mesh.Drain(
+          0,
+          [&](std::uint64_t v) {
+            const int s = static_cast<int>(v / kPer);
+            if (s >= kSenders || v % kPer != next_from[s]) ok = false;
+            next_from[s]++;
+          },
+          QueueMesh<std::uint64_t>::kDefaultBatch,
+          DrainOrder::kDeepestFirst);
+      received += n;
+      if (n == 0) hal::CpuRelax();
+    }
+  });
+  platform.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, total);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
 }
 
 TEST(QueueMesh, NativeManyToOneStress) {

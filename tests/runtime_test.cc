@@ -1,0 +1,324 @@
+// Unit tests for the shared transaction-runtime layer: TxnDriver's
+// admission gating (deadline + commit cap), restart/backoff accounting,
+// OLLP mismatch replanning, strategy-outcome plumbing, and WorkerPool's
+// clock/stat aggregation and per-worker RNG streams. Uses scripted fake
+// strategies on the deterministic simulator, so every counter is exact.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hal/sim_platform.h"
+#include "runtime/txn_driver.h"
+#include "runtime/worker_pool.h"
+#include "workload/workload.h"
+
+namespace orthrus::runtime {
+namespace {
+
+// Minimal transaction type: static single-access set, Run always succeeds
+// (the fake strategies below never call it).
+class NoopLogic final : public txn::TxnLogic {
+ public:
+  void BuildAccessSet(txn::Txn* t, storage::Database*) override {
+    txn::Access a;
+    a.table = 0;
+    a.key = 1;
+    t->accesses.push_back(a);
+  }
+  bool Run(txn::Txn*, const txn::ExecContext&) override { return true; }
+};
+
+class NoopSource final : public workload::TxnSource {
+ public:
+  explicit NoopSource(txn::TxnLogic* logic) : logic_(logic) {}
+  void Next(txn::Txn* t) override {
+    t->ResetForReuse();
+    t->logic = logic_;
+    issued_++;
+  }
+  std::uint64_t issued() const { return issued_; }
+
+ private:
+  txn::TxnLogic* logic_;
+  std::uint64_t issued_ = 0;
+};
+
+// Scripted strategy: for each transaction, emits `aborts` kAbort outcomes
+// and then `mismatches` kMismatch outcomes before committing, charging
+// `cycles_per_attempt` of modeled work per attempt. Records the restart
+// counts and timestamps it observes.
+class ScriptedStrategy final : public ExecutionStrategy {
+ public:
+  ScriptedStrategy(int aborts, int mismatches, hal::Cycles cycles_per_attempt)
+      : aborts_(aborts),
+        mismatches_(mismatches),
+        cycles_per_attempt_(cycles_per_attempt) {}
+
+  TxnOutcome TryExecute(txn::Txn* t) override {
+    hal::ConsumeCycles(cycles_per_attempt_);
+    attempts_++;
+    observed_restarts_.push_back(t->restarts);
+    if (t->restarts < static_cast<std::uint32_t>(aborts_)) {
+      return TxnOutcome::kAbort;
+    }
+    if (t->restarts <
+        static_cast<std::uint32_t>(aborts_) +
+            static_cast<std::uint32_t>(mismatches_)) {
+      return TxnOutcome::kMismatch;
+    }
+    observed_timestamps_.push_back(t->timestamp);
+    return TxnOutcome::kCommitted;
+  }
+
+  std::uint64_t attempts() const { return attempts_; }
+  const std::vector<std::uint32_t>& observed_restarts() const {
+    return observed_restarts_;
+  }
+  const std::vector<std::uint64_t>& observed_timestamps() const {
+    return observed_timestamps_;
+  }
+
+ private:
+  int aborts_;
+  int mismatches_;
+  hal::Cycles cycles_per_attempt_;
+  std::uint64_t attempts_ = 0;
+  std::vector<std::uint32_t> observed_restarts_;
+  std::vector<std::uint64_t> observed_timestamps_;
+};
+
+struct DriverRun {
+  WorkerStats stats;
+  std::uint64_t issued = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t plans = 0;
+  std::uint64_t replans = 0;
+  std::vector<std::uint32_t> observed_restarts;
+  std::vector<std::uint64_t> observed_timestamps;
+  RunResult result;
+};
+
+DriverRun RunDriver(const DriverOptions& options, double duration_seconds,
+                    int aborts, int mismatches,
+                    hal::Cycles cycles_per_attempt) {
+  NoopLogic logic;
+  NoopSource source(&logic);
+  ScriptedStrategy strategy(aborts, mismatches, cycles_per_attempt);
+  storage::Database db;
+  hal::SimPlatform sim(1);
+  WorkerPool pool(&sim, 1, duration_seconds);
+  DriverRun out;
+  pool.Spawn(0, [&](WorkerContext& ctx) {
+    TxnDriver driver(options, &db, &source, &strategy, &ctx);
+    driver.Run();
+    out.plans = driver.admission().planner()->plans();
+    out.replans = driver.admission().planner()->replans();
+  });
+  out.result = pool.Run();
+  out.stats = pool.worker(0).stats;
+  out.issued = source.issued();
+  out.attempts = strategy.attempts();
+  out.observed_restarts = strategy.observed_restarts();
+  out.observed_timestamps = strategy.observed_timestamps();
+  return out;
+}
+
+// The simulator's nominal clock rate, for converting cycle budgets into
+// duration_seconds without hardcoding the platform constant.
+double SimCps() {
+  hal::SimPlatform sim(1);
+  return sim.CyclesPerSecond();
+}
+
+// Virtual-time budget far beyond any commit cap: the cap, not the clock,
+// ends capped runs.
+constexpr double kAmpleDuration = 1000.0;
+
+DriverOptions CappedOptions(std::uint64_t cap) {
+  DriverOptions o;
+  o.max_txns_per_worker = cap;
+  return o;
+}
+
+// ----------------------------------------------------------- commit caps
+
+TEST(TxnDriver, CommitCapEndsTheRunExactly) {
+  const DriverRun r = RunDriver(CappedOptions(7), kAmpleDuration, 0, 0, 100);
+  EXPECT_EQ(r.stats.committed, 7u);
+  EXPECT_EQ(r.issued, 7u);      // nothing admitted past the cap
+  EXPECT_EQ(r.attempts, 7u);    // one attempt per commit
+  EXPECT_EQ(r.plans, 7u);       // one OLLP plan per admission
+  EXPECT_EQ(r.replans, 0u);
+  EXPECT_EQ(r.stats.aborted, 0u);
+  EXPECT_EQ(r.stats.backoffs, 0u);
+  EXPECT_EQ(r.result.total.committed, 7u);
+  EXPECT_EQ(r.stats.txn_latency.count(), 7u);
+}
+
+// -------------------------------------------------------- deadline gating
+
+TEST(TxnDriver, DeadlineStopsAdmission) {
+  DriverOptions o;
+  // 10k cycles of budget at 1k cycles per transaction: the deadline, not a
+  // cap, ends the run after ~10 transactions.
+  o.max_txns_per_worker = 0;
+  const DriverRun r = RunDriver(o, 10000.0 / SimCps(), 0, 0, 1000);
+  EXPECT_GT(r.stats.committed, 5u);
+  EXPECT_LT(r.stats.committed, 15u);
+  EXPECT_EQ(r.issued, r.stats.committed);  // in-flight work always drains
+}
+
+TEST(TxnDriver, InFlightTransactionFinishesPastTheDeadline) {
+  DriverOptions o;
+  // One attempt blows the whole budget.
+  const DriverRun r = RunDriver(o, 1000.0 / SimCps(), 0, 0, 50000);
+  EXPECT_EQ(r.stats.committed, 1u);  // admitted before expiry, ran to commit
+  EXPECT_EQ(r.issued, 1u);
+}
+
+// ---------------------------------------------- restart/backoff counting
+
+TEST(TxnDriver, AbortsTriggerCountedBackoffsAndRetries) {
+  const DriverRun r = RunDriver(CappedOptions(5), kAmpleDuration,
+                                /*aborts=*/2, /*mismatches=*/0, 100);
+  EXPECT_EQ(r.stats.committed, 5u);
+  EXPECT_EQ(r.stats.aborted, 10u);   // 2 per transaction
+  EXPECT_EQ(r.stats.backoffs, 10u);  // every abort backs off exactly once
+  EXPECT_EQ(r.attempts, 15u);        // 3 attempts per transaction
+  EXPECT_EQ(r.issued, 5u);           // retries reuse the admitted txn
+  // The driver resets restarts at admission and increments per abort:
+  // every transaction observes 0, 1, 2.
+  ASSERT_EQ(r.observed_restarts.size(), 15u);
+  for (std::size_t i = 0; i < r.observed_restarts.size(); ++i) {
+    EXPECT_EQ(r.observed_restarts[i], i % 3);
+  }
+}
+
+TEST(TxnDriver, BackoffDelayGrowsWithRestartsAndCaps) {
+  // The default policy's capped exponential, measured through the virtual
+  // clock: 5 commits with 6 aborts each at zero strategy cost spend
+  // (almost) exactly the backoff schedule.
+  const DriverRun r = RunDriver(CappedOptions(5), kAmpleDuration,
+                                /*aborts=*/6, /*mismatches=*/0, 0);
+  EXPECT_EQ(r.stats.backoffs, 30u);
+  // Schedule per txn: 100<<1, 100<<2, 100<<3, 100<<4, 100<<4, 100<<4 (the
+  // shift caps at 4) plus jitter in [0,256) per backoff.
+  const double elapsed_cycles = r.result.elapsed_seconds * SimCps();
+  const double min_backoff = 5 * (200 + 400 + 800 + 1600 + 1600 + 1600);
+  EXPECT_GE(elapsed_cycles, min_backoff);
+  EXPECT_LT(elapsed_cycles, min_backoff + 30 * 256 + 2048);
+}
+
+TEST(TxnDriver, CustomBackoffPolicyIsConsulted) {
+  class CountingPolicy final : public BackoffPolicy {
+   public:
+    hal::Cycles Delay(std::uint32_t restarts, Rng* rng) const override {
+      calls.push_back(restarts);
+      EXPECT_NE(rng, nullptr);
+      return 0;
+    }
+    mutable std::vector<std::uint32_t> calls;
+  };
+  CountingPolicy policy;
+  DriverOptions o = CappedOptions(2);
+  o.backoff = &policy;
+  const DriverRun r = RunDriver(o, kAmpleDuration, /*aborts=*/3, /*mismatches=*/0, 10);
+  EXPECT_EQ(r.stats.committed, 2u);
+  const std::vector<std::uint32_t> want = {1, 2, 3, 1, 2, 3};
+  EXPECT_EQ(policy.calls, want);
+}
+
+// --------------------------------------------------- mismatch replanning
+
+TEST(TxnDriver, MismatchesReplanWithoutBackoff) {
+  const DriverRun r = RunDriver(CappedOptions(4), kAmpleDuration,
+                                /*aborts=*/0, /*mismatches=*/3, 100);
+  EXPECT_EQ(r.stats.committed, 4u);
+  EXPECT_EQ(r.stats.ollp_aborts, 12u);  // 3 per transaction
+  EXPECT_EQ(r.replans, 12u);
+  EXPECT_EQ(r.plans, 4u);               // initial plans only
+  EXPECT_EQ(r.stats.aborted, 0u);       // mismatch is not a deadlock abort
+  EXPECT_EQ(r.stats.backoffs, 0u);      // and takes no backoff
+  EXPECT_EQ(r.attempts, 16u);
+}
+
+TEST(TxnDriver, ExhaustedReplanBudgetDropsTheTransaction) {
+  // A transaction that always mismatches must be dropped after the OLLP
+  // retry budget, not spin forever; the run then ends at the deadline with
+  // zero commits.
+  DriverOptions o;
+  const DriverRun r = RunDriver(o, 200000.0 / SimCps(), /*aborts=*/0,
+                                /*mismatches=*/1 << 20, 1000);
+  EXPECT_EQ(r.stats.committed, 0u);
+  EXPECT_GT(r.issued, 0u);
+  // Every admitted transaction burned its full budget: kMaxOllpRetries
+  // replans plus the final one that returned false.
+  EXPECT_EQ(r.stats.ollp_aborts, r.issued * (txn::kMaxOllpRetries + 1));
+}
+
+// -------------------------------------------------- admission stamping
+
+TEST(TxnDriver, TimestampsAreAgeOrderedAndWorkerTagged) {
+  const DriverRun r = RunDriver(CappedOptions(3), kAmpleDuration, 0, 0, 100);
+  ASSERT_EQ(r.observed_timestamps.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    // (counter << 8) | worker_id, counter starting at 1, worker 0.
+    EXPECT_EQ(r.observed_timestamps[i], (i + 1) << 8);
+  }
+}
+
+// ------------------------------------------------------------ WorkerPool
+
+TEST(WorkerPool, AggregatesStatsAndSpansClocks) {
+  hal::SimPlatform sim(3);
+  WorkerPool pool(&sim, 3, /*duration_seconds=*/1.0);
+  for (int w = 0; w < 3; ++w) {
+    pool.Spawn(w, [w](WorkerContext& ctx) {
+      EXPECT_EQ(ctx.worker_id, w);
+      hal::ConsumeCycles(1000 * (w + 1));
+      ctx.stats.committed = static_cast<std::uint64_t>(w + 1);
+      ctx.stats.Add(TimeCategory::kExecution, 10);
+    });
+  }
+  const RunResult r = pool.Run();
+  EXPECT_EQ(r.total.committed, 6u);
+  ASSERT_EQ(r.per_worker.size(), 3u);
+  EXPECT_EQ(r.per_worker[2].committed, 3u);
+  // Elapsed spans the slowest worker's 3000 cycles of work.
+  EXPECT_GE(r.elapsed_seconds, 3000.0 / SimCps());
+}
+
+TEST(WorkerPool, PerWorkerRngStreamsAreSeededAndDistinct) {
+  hal::SimPlatform sim_a(2), sim_b(2);
+  WorkerPool a(&sim_a, 2, 1.0, /*rng_seed=*/42);
+  WorkerPool b(&sim_b, 2, 1.0, /*rng_seed=*/42);
+  // Same seed, same worker: identical stream. Different workers: distinct.
+  EXPECT_EQ(a.worker(0).rng.Next(), b.worker(0).rng.Next());
+  EXPECT_EQ(a.worker(1).rng.Next(), b.worker(1).rng.Next());
+  EXPECT_NE(a.worker(0).rng.Next(), a.worker(1).rng.Next());
+
+  hal::SimPlatform sim_c(2);
+  WorkerPool c(&sim_c, 2, 1.0, /*rng_seed=*/43);
+  EXPECT_NE(c.worker(0).rng.Next(), b.worker(0).rng.Next());
+}
+
+TEST(WorkerPool, SplitRunAllowsMidpointAssertions) {
+  hal::SimPlatform sim(2);
+  WorkerPool pool(&sim, 2, 1.0);
+  bool ran[2] = {false, false};
+  for (int w = 0; w < 2; ++w) {
+    pool.Spawn(w, [&ran, w](WorkerContext& ctx) {
+      ran[w] = true;
+      ctx.stats.committed = 1;
+    });
+  }
+  pool.RunWorkers();
+  EXPECT_TRUE(ran[0] && ran[1]);  // joined: safe to assert engine state here
+  const RunResult r = pool.Finalize();
+  EXPECT_EQ(r.total.committed, 2u);
+}
+
+}  // namespace
+}  // namespace orthrus::runtime
