@@ -1,15 +1,27 @@
-// Ablation: batched message delivery on the CC<->exec hot path. Every lock
-// acquire/grant/release is a word-sized message on a per-pair SPSC queue
-// (Section 3.1); the batched drain pops up to a cache line of messages per
-// index publication, while the unbatched baseline publishes the consumer
-// index once per message. Note what is and is not ablated: both arms use
-// the line-packed payload layout (one modeled coherence line per 8
-// messages), so this measures delivery/index-publication granularity
-// only, not the packing itself.
+// Ablation: batched message transport on the CC<->exec hot path. Every
+// lock acquire/grant/release is a word-sized message on a per-pair SPSC
+// queue (Section 3.1), and both directions of the batching now exist:
 //
-// Expected shape: the gap grows with message pressure — more CC threads
-// per transaction means more messages per commit, and bursts at each CC
-// thread deepen, giving batching more to amortize.
+//  * receive side (`batched_mp`): the batched drain pops up to a cache
+//    line of messages per head publication, while the unbatched baseline
+//    publishes the consumer index once per message;
+//  * send side (`coalesced_send`): senders stage messages in a per-pair
+//    mp::SendBuffer and publish the tail once per flushed line, while the
+//    baseline publishes once per message.
+//
+// Note what is and is not ablated: every arm uses the line-packed payload
+// layout (one modeled coherence line per 8 messages), so this measures
+// index-publication granularity only, not the packing itself.
+//
+// Expected shape: the receive-side gap grows with message pressure — more
+// CC threads per transaction means more messages per commit, and bursts at
+// each CC thread deepen, giving batching more to amortize. The send side
+// is a genuine trade under the simulator's cost model: coalescing cuts
+// tail publications by kMsgsPerLine (see BM_SpscSendBuffer's
+// tail_pubs_per_msg counter) but holds staged messages until the sender's
+// quantum ends, and at these shapes the added critical-path latency can
+// outweigh the saved coherence traffic — which is exactly why it ships as
+// an ablation flag rather than a hard-wired behaviour.
 #include <vector>
 
 #include "bench/common/bench_harness.h"
@@ -23,10 +35,21 @@ int main() {
   const std::vector<int> parts_per_txn = {1, 2, 4, 8};
   std::vector<std::string> xs;
   for (int p : parts_per_txn) xs.push_back(std::to_string(p));
-  PrintHeader("Ablation: batched queue delivery, 80 cores",
+  PrintHeader("Ablation: batched queue transport, 80 cores",
               "tput (M/s) @parts", xs);
 
-  for (bool batched : {true, false}) {
+  struct Arm {
+    const char* label;
+    bool batched_mp;
+    bool coalesced_send;
+  };
+  const Arm arms[] = {
+      {"batched+coalesced (default)", true, true},
+      {"recv batched only", true, false},
+      {"send coalesced only", false, true},
+      {"neither (msg/pub)", false, false},
+  };
+  for (const Arm& arm : arms) {
     std::vector<double> tputs;
     for (int k : parts_per_txn) {
       workload::KvConfig kv;
@@ -39,12 +62,13 @@ int main() {
       workload::KvWorkload wl(kv);
       engine::OrthrusOptions oo;
       oo.num_cc = kCc;
-      oo.batched_mp = batched;
+      oo.batched_mp = arm.batched_mp;
+      oo.coalesced_send = arm.coalesced_send;
       engine::OrthrusEngine eng(BenchOptions(kCores), oo);
       RunResult r = RunPoint(&eng, &wl, kCores, 1);
       tputs.push_back(r.Throughput());
     }
-    PrintRow(batched ? "batched (line/pop)" : "unbatched (msg/pop)", tputs);
+    PrintRow(arm.label, tputs);
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mp/queue_mesh.h"
+#include "mp/send_buffer.h"
 #include "txn/ollp.h"
 
 namespace orthrus::engine {
@@ -370,6 +371,7 @@ class SharedCcTable {
 // --------------------------------------------------------- shared state
 
 using Mesh = mp::QueueMesh<std::uint64_t>;
+using SendBuf = mp::SendBuffer<std::uint64_t>;
 
 struct Shared {
   int n_cc = 0;
@@ -378,6 +380,10 @@ struct Shared {
   // Messages popped per PopBatch on the receive side; 1 is the unbatched
   // ablation baseline.
   std::size_t drain_batch = Mesh::kDefaultBatch;
+  // Messages staged per (sender, receiver) pair before a send buffer
+  // flushes; 1 is the per-message-publication ablation baseline
+  // (coalesced_send off).
+  std::size_t send_stage = SendBuf::kDefaultStage;
   // Sender visit order when draining (adaptive_drain ablation flag).
   mp::DrainOrder drain_order = mp::DrainOrder::kRoundRobin;
   hal::Cycles cc_op_cycles = 20;
@@ -400,7 +406,12 @@ class CcThread {
  public:
   CcThread(int cc_id, Shared* shared, WorkerStats* stats,
            std::size_t lock_slots)
-      : cc_id_(cc_id), shared_(shared), stats_(stats), locks_(lock_slots) {}
+      : cc_id_(cc_id),
+        shared_(shared),
+        stats_(stats),
+        locks_(lock_slots),
+        out_cc_(&shared->cc_to_cc, cc_id, shared->send_stage),
+        out_exec_(&shared->cc_to_exec, cc_id, shared->send_stage) {}
 
   void Main() {
     // Polling cached-empty queues costs L1 hits; a small cap keeps grant
@@ -414,12 +425,19 @@ class CcThread {
                                             shared_->n_exec) &&
           shared_->inflight_global.load() == 0;
       const bool progress = DrainOnce();
+      // End of the scheduling quantum: grants, forwards, and acks staged
+      // while handling this quantum's messages go out before we either
+      // loop or idle — a staged message must never wait on an idle sender.
+      out_cc_.FlushAll();
+      out_exec_.FlushAll();
       if (progress) {
         idle.Reset();
         continue;
       }
       if (maybe_done) {
         ORTHRUS_CHECK_MSG(held_ == 0, "CC exiting with locks held");
+        ORTHRUS_CHECK_MSG(out_cc_.Pending() == 0 && out_exec_.Pending() == 0,
+                          "CC exiting with staged messages");
         break;
       }
       const hal::Cycles t0 = hal::Now();
@@ -505,7 +523,7 @@ class CcThread {
     if (shared_->shared_cc != nullptr) {
       runnable_.clear();
       shared_->shared_cc->ReleaseAll(tcb, &runnable_);
-      shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kAck));
+      out_exec_.Send(tcb->exec_id, Encode(tcb, kAck));
       stats_->messages_sent++;
       // Continue the transactions our release unblocked; any that complete
       // their lock set are handed to their execution threads.
@@ -532,7 +550,7 @@ class CcThread {
     }
     // Release requests are satisfied and acknowledged immediately
     // (Section 3.1).
-    shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kAck));
+    out_exec_.Send(tcb->exec_id, Encode(tcb, kAck));
     stats_->messages_sent++;
   }
 
@@ -579,7 +597,7 @@ class CcThread {
   }
 
   void SendGrant(Tcb* tcb) {
-    shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kGrant));
+    out_exec_.Send(tcb->exec_id, Encode(tcb, kGrant));
     stats_->messages_sent++;
   }
 
@@ -590,16 +608,14 @@ class CcThread {
     if (next < tcb->n_stages) {
       if (shared_->forwarding) {
         tcb->cur_stage = next;
-        shared_->cc_to_cc.Send(cc_id_, tcb->stages[next].cc,
-                               Encode(tcb, kAcquire));
+        out_cc_.Send(tcb->stages[next].cc, Encode(tcb, kAcquire));
       } else {
         // Ablation mode: the execution thread mediates every hop, paying
         // two message delays per CC thread (2*Ncc total).
-        shared_->cc_to_exec.Send(cc_id_, tcb->exec_id,
-                                 Encode(tcb, kStageDone));
+        out_exec_.Send(tcb->exec_id, Encode(tcb, kStageDone));
       }
     } else {
-      shared_->cc_to_exec.Send(cc_id_, tcb->exec_id, Encode(tcb, kGrant));
+      out_exec_.Send(tcb->exec_id, Encode(tcb, kGrant));
     }
     stats_->messages_sent++;
   }
@@ -608,6 +624,10 @@ class CcThread {
   Shared* shared_;
   WorkerStats* stats_;
   CcLockTable locks_;
+  // Outgoing staging buffers (one per destination mesh); flushed at the
+  // end of every scheduling quantum in Main.
+  SendBuf out_cc_;
+  SendBuf out_exec_;
   std::uint64_t held_ = 0;
   std::vector<Tcb*> runnable_;  // scratch for shared-mode release grants
 };
@@ -626,7 +646,8 @@ class ExecThread {
         stats_(&worker->stats),
         max_inflight_(max_inflight),
         source_(workload.MakeSource(shared->n_cc + exec_id)),
-        admission_(driver_options, db, source_.get(), worker) {
+        admission_(driver_options, db, source_.get(), worker),
+        out_cc_(&shared->exec_to_cc, exec_id, shared->send_stage) {
     tcbs_.resize(max_inflight);
     for (int i = 0; i < max_inflight; ++i) {
       tcbs_[i] = std::make_unique<Tcb>();
@@ -645,6 +666,9 @@ class ExecThread {
     while (true) {
       bool progress = PollGrants();
       progress |= IssueNew();
+      // End of the scheduling quantum: acquires and releases staged while
+      // polling/issuing go out before we either loop or idle.
+      out_cc_.FlushAll();
       if (progress) {
         idle.Reset();
         continue;
@@ -654,6 +678,8 @@ class ExecThread {
       idle.Idle();
       stats_->Add(TimeCategory::kWaiting, hal::Now() - t0);
     }
+    ORTHRUS_CHECK_MSG(out_cc_.Pending() == 0,
+                      "exec exiting with staged messages");
     shared_->execs_done.fetch_add(1);
   }
 
@@ -751,7 +777,7 @@ class ExecThread {
   }
 
   void SendAcquire(Tcb* tcb, int cc) {
-    shared_->exec_to_cc.Send(exec_id_, cc, Encode(tcb, kAcquire));
+    out_cc_.Send(cc, Encode(tcb, kAcquire));
     stats_->messages_sent++;
   }
 
@@ -775,13 +801,12 @@ class ExecThread {
     t0 = hal::Now();
     if (shared_->shared_cc != nullptr) {
       tcb->pending_acks = 1;
-      shared_->exec_to_cc.Send(exec_id_, tcb->home_cc, Encode(tcb, kRelease));
+      out_cc_.Send(tcb->home_cc, Encode(tcb, kRelease));
       stats_->messages_sent++;
     } else {
       tcb->pending_acks = tcb->n_stages;
       for (int s = 0; s < tcb->n_stages; ++s) {
-        shared_->exec_to_cc.Send(exec_id_, tcb->stages[s].cc,
-                                 Encode(tcb, kRelease));
+        out_cc_.Send(tcb->stages[s].cc, Encode(tcb, kRelease));
         stats_->messages_sent++;
       }
     }
@@ -815,6 +840,9 @@ class ExecThread {
   int max_inflight_;
   std::unique_ptr<workload::TxnSource> source_;
   runtime::TxnAdmission admission_;
+  // Outgoing staging buffer toward the CC threads; flushed at the end of
+  // every scheduling quantum in Main.
+  SendBuf out_cc_;
   std::vector<std::unique_ptr<Tcb>> tcbs_;
   std::vector<int> free_slots_;
   int inflight_ = 0;
@@ -834,6 +862,7 @@ std::string OrthrusEngine::name() const {
   std::string n = orthrus_.split_index ? "split-orthrus" : "orthrus";
   if (!orthrus_.forwarding) n += "-nofwd";
   if (!orthrus_.batched_mp) n += "-nobatch";
+  if (!orthrus_.coalesced_send) n += "-nocoalesce";
   if (orthrus_.adaptive_drain) n += "-adaptive";
   if (orthrus_.shared_cc_table) n += "-sharedcc";
   return n;
@@ -870,8 +899,11 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   shared.cc_to_cc.Reset(n_cc, n_cc, fq_cap);
   shared.cc_to_exec.Reset(n_cc, n_exec, gq_cap);
   if (!orthrus_.batched_mp) shared.drain_batch = 1;
+  if (!orthrus_.coalesced_send) shared.send_stage = 1;
   if (orthrus_.adaptive_drain) {
-    shared.drain_order = mp::DrainOrder::kDeepestFirst;
+    // Measured-imbalance trigger: deepest-first only when a receiver's
+    // depth snapshot is actually skewed (see mp::DrainOrder::kAdaptive).
+    shared.drain_order = mp::DrainOrder::kAdaptive;
   }
 
   runtime::WorkerPool pool(platform, options_.num_cores,

@@ -45,10 +45,19 @@ struct OrthrusOptions {
   // line-packed payload layout of mp::SpscQueue stays active either way.
   bool batched_mp = true;
 
-  // Adaptive drain order (mp::DrainOrder::kDeepestFirst): receivers serve
-  // their deepest input queue first instead of a fixed sender order.
-  // Deterministic, but a different event order than the fixed round-robin
-  // the equivalence digests are pinned to, so it is opt-in.
+  // Sender-side counterpart of batched_mp: stage outgoing messages in a
+  // per-(sender, receiver) mp::SendBuffer and flush a payload line per
+  // tail publication, with an explicit FlushAll at the end of each
+  // scheduling quantum. Ablation flag: off degrades the stage depth to 1,
+  // i.e. one tail publication per message — the pre-coalescing behaviour.
+  bool coalesced_send = true;
+
+  // Adaptive drain order (mp::DrainOrder::kAdaptive): receivers snapshot
+  // their input-queue depths and switch to deepest-first service only when
+  // the snapshot is measurably imbalanced (max >= kImbalanceRatio * mean);
+  // balanced snapshots keep the fixed sender order. Deterministic, but a
+  // different event order than the fixed round-robin the equivalence
+  // digests are pinned to, so it is opt-in.
   bool adaptive_drain = false;
 
   // Use physically partitioned indexes (SPLIT ORTHRUS, Section 4.3). The

@@ -16,6 +16,8 @@ LockTable::LockTable(Config config) : config_(config) {
 
 LockTable::~LockTable() = default;
 
+WorkerLockCtx::~WorkerLockCtx() = default;
+
 WorkerLockCtx* LockTable::RegisterWorker(int id, WorkerStats* stats) {
   ORTHRUS_CHECK(id >= 0 && id < config_.max_workers);
   ORTHRUS_CHECK_MSG(workers_[id] == nullptr, "worker registered twice");
@@ -118,7 +120,8 @@ Request* LockTable::AllocRequest(WorkerLockCtx* ctx) {
   } else {
     // Cold path: grows the worker's private pool. Never recurs for a key
     // once the pool has warmed to the worker's maximum footprint.
-    r = new Request();
+    ctx->owned_requests.push_back(std::make_unique<Request>());
+    r = ctx->owned_requests.back().get();
   }
   r->next = nullptr;
   r->prev = nullptr;

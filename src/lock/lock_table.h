@@ -38,6 +38,13 @@ class DeadlockPolicy;
 // Per-worker lock-manager state. Stable address for the whole run (other
 // workers read the digest / waits-for fields while this worker waits).
 struct WorkerLockCtx {
+  WorkerLockCtx() = default;
+  // Out-of-line: owned_requests needs the complete Request type to delete.
+  ~WorkerLockCtx();
+
+  WorkerLockCtx(const WorkerLockCtx&) = delete;
+  WorkerLockCtx& operator=(const WorkerLockCtx&) = delete;
+
   int worker_id = -1;
   WorkerStats* stats = nullptr;
 
@@ -60,8 +67,11 @@ struct WorkerLockCtx {
   // Requests held by the current transaction, for ReleaseAll.
   std::vector<Request*> acquired;
 
-  // Private freelist of request nodes (single owner, no sync).
+  // Private freelist of request nodes (single owner, no sync). Nodes are
+  // owned by `owned_requests` below, so teardown frees them even if a test
+  // leaves requests queued.
   Request* free_requests = nullptr;
+  std::vector<std::unique_ptr<Request>> owned_requests;
 
   // Private shard of the lock-head pool (bump allocation, no sync): the
   // paper's "never interacts with a memory allocator" rule — a shared bump

@@ -1,0 +1,102 @@
+// MultiMesh: the dynamically-sized counterpart of QueueMesh. Instead of a
+// full (sender x receiver) matrix of SPSC queues — which bakes the sender
+// population into the mesh at construction time — each receiver owns one
+// multi-producer queue (mp::MpscQueue) that any thread may send into. That
+// is the prerequisite for dynamic execution-thread counts: spinning up a
+// new sender needs no mesh rebuild and no sender id registration.
+//
+// The trade, priced by the simulator's cost model: every Send pays a CAS
+// on the receiver's shared reservation index, the synchronization the
+// per-pair SPSC design exists to avoid, and fan-in FIFO is global arrival
+// order rather than per-sender round-robin (one sender's messages still
+// arrive in its send order — a single producer's reservations are
+// ordered). Drain keeps the batched shape of QueueMesh::Drain: up to
+// `max_batch` messages per head publication, clamped to one payload line.
+#ifndef ORTHRUS_MP_MULTI_MESH_H_
+#define ORTHRUS_MP_MULTI_MESH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "hal/hal.h"
+#include "mp/mpsc_queue.h"
+
+namespace orthrus::mp {
+
+template <typename T>
+class MultiMesh {
+ public:
+  static constexpr std::size_t kDefaultBatch = MpscQueue<T>::kMsgsPerLine;
+
+  MultiMesh() = default;
+
+  MultiMesh(int receivers, std::size_t capacity) { Reset(receivers, capacity); }
+
+  MultiMesh(const MultiMesh&) = delete;
+  MultiMesh& operator=(const MultiMesh&) = delete;
+
+  // (Re)builds the per-receiver queues. `capacity` is the caller's provable
+  // bound on outstanding messages addressed to one receiver — across all
+  // senders, since they share the ring.
+  void Reset(int receivers, std::size_t capacity) {
+    ORTHRUS_CHECK(receivers >= 1);
+    queues_.clear();
+    queues_.reserve(static_cast<std::size_t>(receivers));
+    for (int r = 0; r < receivers; ++r) {
+      queues_.push_back(std::make_unique<MpscQueue<T>>(capacity));
+    }
+  }
+
+  int receivers() const { return static_cast<int>(queues_.size()); }
+
+  MpscQueue<T>& at(int receiver) {
+    ORTHRUS_DCHECK(receiver >= 0 && receiver < receivers());
+    return *queues_[static_cast<std::size_t>(receiver)];
+  }
+
+  // Blocking send from any thread. Spins (politely) while full;
+  // CHECK-fails if the queue stays full long enough that the capacity
+  // bound must have been violated.
+  void Send(int receiver, T value) {
+    MpscQueue<T>& q = at(receiver);
+    detail::WedgeSpin spin;
+    while (!q.TryEnqueue(value)) spin.Pause();
+  }
+
+  // Drains the receiver's queue, invoking fn(message) on each message in
+  // arrival order. Pops in batches of up to `max_batch` (clamped to
+  // [1, one payload line]). Returns messages delivered.
+  template <typename Fn>
+  std::size_t Drain(int receiver, Fn&& fn,
+                    std::size_t max_batch = kDefaultBatch) {
+    ORTHRUS_DCHECK(max_batch >= 1);
+    std::size_t batch = max_batch < kDefaultBatch ? max_batch : kDefaultBatch;
+    if (batch == 0) batch = 1;  // release builds: never wedge a caller that
+                                // loops until progress
+    T buf[kDefaultBatch];
+    std::size_t delivered = 0;
+    MpscQueue<T>& q = at(receiver);
+    std::size_t n;
+    while ((n = q.PopBatch(buf, batch)) != 0) {
+      for (std::size_t i = 0; i < n; ++i) fn(buf[i]);
+      delivered += n;
+    }
+    return delivered;
+  }
+
+  // Unmodeled aggregate occupancy, for teardown assertions.
+  std::size_t SizeRawTotal() const {
+    std::size_t total = 0;
+    for (const auto& q : queues_) total += q->SizeRaw();
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MpscQueue<T>>> queues_;
+};
+
+}  // namespace orthrus::mp
+
+#endif  // ORTHRUS_MP_MULTI_MESH_H_

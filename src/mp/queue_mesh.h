@@ -38,14 +38,32 @@ enum class DrainOrder {
   // bursty or skewed fan-in the deepest queue bounds the burst's drain
   // latency and marks the sender closest to blocking on a full queue, so
   // serving it first cuts tail latency and Send backpressure. Costs one
-  // tail-index load per sender up front.
+  // tail-index load per sender up front. Senders whose queues were empty
+  // at snapshot time are still visited, last and in ascending id order,
+  // so one Drain call never delivers less than the round-robin path.
   kDeepestFirst,
+  // Measured-imbalance trigger: snapshot depths as kDeepestFirst does,
+  // but pay the sort and the reordering only when the snapshot is
+  // actually skewed — at least two non-empty senders, a burst deeper
+  // than one message, and max depth >= kImbalanceRatio * the mean depth
+  // over non-empty senders. Balanced and sparse snapshots are served in
+  // plain sender order.
+  // This replaces a static "always deepest-first" policy with one driven
+  // by what the receiver observes, per drain, at no extra modeled cost —
+  // the depth snapshot was already paid for.
+  kAdaptive,
 };
 
 template <typename T>
 class QueueMesh {
  public:
   static constexpr std::size_t kDefaultBatch = SpscQueue<T>::kMsgsPerLine;
+
+  // kAdaptive switches to deepest-first when the snapshot's max depth is
+  // at least this multiple of the mean depth over non-empty senders. 2 is
+  // deliberately low-drama: a single dominant burst trips it, steady
+  // balanced traffic never does.
+  static constexpr std::size_t kImbalanceRatio = 2;
 
   QueueMesh() = default;
 
@@ -91,53 +109,84 @@ class QueueMesh {
   // capacity bound must have been violated.
   void Send(int sender, int receiver, T value) {
     SpscQueue<T>& q = at(sender, receiver);
-    std::uint64_t spins = 0;
-    while (!q.TryEnqueue(value)) {
-      hal::CpuRelax();
-      ORTHRUS_CHECK_MSG(++spins < (1ull << 26),
-                        "message queue wedged: capacity bound violated");
-    }
+    detail::WedgeSpin spin;
+    while (!q.TryEnqueue(value)) spin.Pause();
   }
 
   // Drains every queue addressed to `receiver`, invoking fn(message) on
-  // each message in per-sender FIFO order. Pops in batches of up to
-  // `max_batch` (clamped to one payload line). Returns messages delivered.
+  // each message in per-sender FIFO order. Every sender is visited at
+  // least once regardless of `order`, so a single call always delivers the
+  // same multiset the round-robin path would. Pops in batches of up to
+  // `max_batch` (clamped to [1, one payload line]; callers commonly loop
+  // until Drain returns 0, so a zero batch must clamp up rather than
+  // silently deliver nothing forever). Returns messages delivered.
   // `order` picks the sender visit order; see DrainOrder.
   template <typename Fn>
   std::size_t Drain(int receiver, Fn&& fn,
                     std::size_t max_batch = kDefaultBatch,
                     DrainOrder order = DrainOrder::kRoundRobin) {
-    const std::size_t batch =
-        max_batch < kDefaultBatch ? max_batch : kDefaultBatch;
+    ORTHRUS_DCHECK(max_batch >= 1);
+    std::size_t batch = max_batch < kDefaultBatch ? max_batch : kDefaultBatch;
+    if (batch == 0) batch = 1;
     T buf[kDefaultBatch];
     std::size_t delivered = 0;
-    if (order == DrainOrder::kDeepestFirst && senders_ > 1) {
-      std::vector<DepthEntry>& depths = depth_scratch_[receiver].depths;
-      depths.clear();
-      for (int s = 0; s < senders_; ++s) {
-        const std::size_t d = at(s, receiver).SizeConsumer();
-        if (d != 0) depths.push_back({d, s});
-      }
-      std::sort(depths.begin(), depths.end());
-      for (const DepthEntry& e : depths) {
-        SpscQueue<T>& q = at(e.sender, receiver);
-        std::size_t n;
-        while ((n = q.PopBatch(buf, batch)) != 0) {
-          for (std::size_t i = 0; i < n; ++i) fn(buf[i]);
-          delivered += n;
-        }
-      }
-      return delivered;
-    }
-    for (int s = 0; s < senders_; ++s) {
-      SpscQueue<T>& q = at(s, receiver);
+    // Pops one sender's queue until empty, shared by both visit orders.
+    const auto drain_queue = [&](SpscQueue<T>& q) {
       std::size_t n;
       while ((n = q.PopBatch(buf, batch)) != 0) {
         for (std::size_t i = 0; i < n; ++i) fn(buf[i]);
         delivered += n;
       }
+    };
+    if (order != DrainOrder::kRoundRobin && senders_ > 1) {
+      ReceiverScratch& scratch = depth_scratch_[receiver];
+      std::vector<DepthEntry>& depths = scratch.depths;
+      depths.clear();
+      std::size_t max_depth = 0;
+      std::size_t total = 0;
+      int nonzero = 0;
+      for (int s = 0; s < senders_; ++s) {
+        const std::size_t d = at(s, receiver).SizeConsumer();
+        // Empty-at-snapshot senders stay in the list: the comparator sorts
+        // them last (ascending id), so messages landing mid-drain are
+        // still picked up by the final sweep.
+        depths.push_back({d, s});
+        total += d;
+        if (d != 0) nonzero++;
+        if (d > max_depth) max_depth = d;
+      }
+      // Reordering can only help when there are at least two competing
+      // non-empty senders and an actual burst (depth > 1): a sparse
+      // snapshot — e.g. one lone message among many empty queues, the
+      // steady state of a lightly loaded receiver — gains nothing from a
+      // sort, so it must not pay for one. The mean is taken over the
+      // non-empty senders for the same reason: in an engine-shaped mesh
+      // most senders are idle at any instant, and counting the empties
+      // would drag the mean toward zero and classify nearly-balanced
+      // active traffic as skewed.
+      const bool deepest =
+          order == DrainOrder::kDeepestFirst ||
+          (nonzero > 1 && max_depth > 1 &&
+           max_depth * static_cast<std::size_t>(nonzero) >=
+               kImbalanceRatio * total);
+      if (deepest) std::sort(depths.begin(), depths.end());
+      scratch.last_deepest = deepest;
+      for (const DepthEntry& e : depths) {
+        drain_queue(at(e.sender, receiver));
+      }
+      return delivered;
+    }
+    for (int s = 0; s < senders_; ++s) {
+      drain_queue(at(s, receiver));
     }
     return delivered;
+  }
+
+  // Whether the receiver's most recent snapshot-based Drain (kDeepestFirst
+  // or kAdaptive) actually reordered senders. Observability for tests and
+  // benches; meaningless after a kRoundRobin drain.
+  bool LastDrainWasDeepest(int receiver) const {
+    return depth_scratch_[static_cast<std::size_t>(receiver)].last_deepest;
   }
 
   // Unmodeled aggregate occupancy, for teardown assertions.
@@ -163,6 +212,7 @@ class QueueMesh {
   // line (each receiver mutates its header on every adaptive drain).
   struct alignas(kCacheLineSize) ReceiverScratch {
     std::vector<DepthEntry> depths;
+    bool last_deepest = false;
   };
 
   int senders_ = 0;

@@ -1,0 +1,127 @@
+// SendBuffer: sender-side batching over a QueueMesh.
+//
+// The mesh's receive side has been batched since the queues were built —
+// Drain pops up to a cache line of messages per head publication — but a
+// sender calling QueueMesh::Send still publishes its tail index once per
+// message, so the coherence amortization of Section 3.1 only ran one way.
+// SendBuffer closes that gap: each sender stages outgoing messages in a
+// plain-memory array per (sender, receiver) pair and flushes them with one
+// PushBatch — one tail publication and ~one payload-line transfer per
+// staging-array's worth of messages instead of one publication each.
+//
+// The staging arrays are sender-private plain memory, so staging a message
+// costs no modeled coherence traffic at all; the shared queue is touched
+// only at flush time. A pair auto-flushes when its staging array fills
+// (default: one payload line, the point past which a bigger batch buys no
+// further line amortization); the owner must call FlushAll() at the end of
+// each scheduling quantum so staged messages never outlive the sender's
+// attention — an unflushed grant is a stalled transaction.
+//
+// Flush is blocking like QueueMesh::Send: queue capacities are provable
+// bounds on outstanding messages (staging does not increase them — a
+// staged message was "outstanding" the moment the protocol produced it),
+// so a partial PushBatch retries until the receiver makes room and a
+// queue that stays full is a protocol bug, not backpressure.
+#ifndef ORTHRUS_MP_SEND_BUFFER_H_
+#define ORTHRUS_MP_SEND_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "hal/hal.h"
+#include "mp/queue_mesh.h"
+
+namespace orthrus::mp {
+
+template <typename T>
+class SendBuffer {
+ public:
+  // Stage one payload line per pair by default: flushes then publish the
+  // tail once per line, matching the receive side's per-line pops.
+  static constexpr std::size_t kDefaultStage = SpscQueue<T>::kMsgsPerLine;
+
+  // `stage_capacity = 1` degrades to exactly QueueMesh::Send's per-message
+  // publication behaviour — the ablation baseline.
+  SendBuffer(QueueMesh<T>* mesh, int sender,
+             std::size_t stage_capacity = kDefaultStage)
+      : mesh_(mesh),
+        sender_(sender),
+        stage_(stage_capacity < 1 ? 1 : stage_capacity),
+        slots_(static_cast<std::size_t>(mesh->receivers()) * stage_),
+        counts_(static_cast<std::size_t>(mesh->receivers()), 0) {
+    ORTHRUS_CHECK(sender >= 0 && sender < mesh->senders());
+  }
+
+  SendBuffer(const SendBuffer&) = delete;
+  SendBuffer& operator=(const SendBuffer&) = delete;
+
+  int sender() const { return sender_; }
+  std::size_t stage_capacity() const { return stage_; }
+
+  // Stages `value` for `receiver`; flushes the pair if its array is full.
+  void Send(int receiver, T value) {
+    ORTHRUS_DCHECK(receiver >= 0 && receiver < mesh_->receivers());
+    std::size_t& n = counts_[static_cast<std::size_t>(receiver)];
+    slots_[static_cast<std::size_t>(receiver) * stage_ + n] = value;
+    messages_++;
+    if (++n == stage_) Flush(receiver);
+  }
+
+  // Pushes everything staged for `receiver` into the mesh queue, retrying
+  // partial batches until the whole stage is enqueued.
+  void Flush(int receiver) {
+    std::size_t& n = counts_[static_cast<std::size_t>(receiver)];
+    if (n == 0) return;
+    const T* buf = &slots_[static_cast<std::size_t>(receiver) * stage_];
+    SpscQueue<T>& q = mesh_->at(sender_, receiver);
+    std::size_t pushed = 0;
+    detail::WedgeSpin spin;
+    while (pushed < n) {
+      const std::size_t k = q.PushBatch(buf + pushed, n - pushed);
+      if (k == 0) {
+        spin.Pause();
+        continue;
+      }
+      publications_++;
+      pushed += k;
+    }
+    n = 0;
+  }
+
+  // Flushes every pair, in ascending receiver order (deterministic under
+  // the simulator). Call at the end of each scheduling quantum.
+  void FlushAll() {
+    for (int r = 0; r < mesh_->receivers(); ++r) Flush(r);
+  }
+
+  // Messages staged but not yet flushed (all receivers).
+  std::size_t Pending() const {
+    std::size_t total = 0;
+    for (std::size_t n : counts_) total += n;
+    return total;
+  }
+
+  // Total messages accepted by Send().
+  std::uint64_t messages() const { return messages_; }
+
+  // Tail-index publications performed (successful PushBatch calls). The
+  // amortization the buffer exists for: messages() / publications() is the
+  // average messages per publication, vs. exactly 1 for unbuffered Send.
+  std::uint64_t publications() const { return publications_; }
+
+ private:
+  QueueMesh<T>* mesh_;
+  const int sender_;
+  const std::size_t stage_;
+  // Flat [receiver][stage_] staging matrix + per-receiver fill counts.
+  // Plain memory: exactly one thread owns a SendBuffer.
+  std::vector<T> slots_;
+  std::vector<std::size_t> counts_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t publications_ = 0;
+};
+
+}  // namespace orthrus::mp
+
+#endif  // ORTHRUS_MP_SEND_BUFFER_H_

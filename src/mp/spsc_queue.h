@@ -10,46 +10,32 @@
 // head, and each side caches the other's index so steady-state operations
 // touch remote state only when the cached view is exhausted.
 //
-// Messages are word-sized, so a cache line carries kMsgsPerLine of them.
-// The ring packs payload words contiguously into line-sized blocks (one
-// modeled coherence line per block) instead of one line per slot: a burst
-// of messages then costs one line transfer per kMsgsPerLine messages
-// rather than one per message, and the batched PushBatch/PopBatch
+// Payload words are packed into cache-line blocks (detail::LineRing), so a
+// burst of messages costs one modeled line transfer per kMsgsPerLine
+// messages rather than one per message, and the batched PushBatch/PopBatch
 // operations additionally publish the shared index once per batch instead
 // of once per message. The unbatched TryEnqueue/TryDequeue remain for
 // callers that need per-message delivery (and as the ablation baseline).
 #ifndef ORTHRUS_MP_SPSC_QUEUE_H_
 #define ORTHRUS_MP_SPSC_QUEUE_H_
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <type_traits>
 
 #include "common/macros.h"
 #include "hal/hal.h"
+#include "mp/line_ring.h"
 
 namespace orthrus::mp {
 
 template <typename T>
 class SpscQueue {
-  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
-                    IsPowerOfTwo(sizeof(T)),
-                "queue payloads are word-sized messages");
-
  public:
   // Messages sharing one (modeled) cache line of payload.
-  static constexpr std::size_t kMsgsPerLine = kCacheLineSize / sizeof(T);
+  static constexpr std::size_t kMsgsPerLine = detail::LineRing<T>::kMsgsPerLine;
 
   // Capacity must be a power of two (index masking).
   explicit SpscQueue(std::size_t capacity)
-      : capacity_(capacity),
-        mask_(capacity - 1),
-        word_mask_(WordsPerLine(capacity) - 1),
-        line_shift_(Log2(WordsPerLine(capacity))),
-        lines_(std::make_unique<Line[]>(capacity / WordsPerLine(capacity))) {
-    ORTHRUS_CHECK(IsPowerOfTwo(capacity));
-  }
+      : capacity_(capacity), ring_(capacity) {}
 
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
@@ -62,7 +48,7 @@ class SpscQueue {
       head_cache_ = head_.load();
       if (tail_local_ - head_cache_ >= capacity_) return false;
     }
-    StoreSlot(tail_local_, value);
+    ring_.Store(tail_local_, value);
     tail_local_++;
     tail_.store(tail_local_);
     return true;
@@ -83,7 +69,7 @@ class SpscQueue {
     }
     const std::size_t count = n < free_slots ? n : free_slots;
     for (std::size_t i = 0; i < count; ++i) {
-      StoreSlot(tail_local_ + i, values[i]);
+      ring_.Store(tail_local_ + i, values[i]);
     }
     tail_local_ += count;
     tail_.store(tail_local_);
@@ -96,7 +82,7 @@ class SpscQueue {
       tail_cache_ = tail_.load();
       if (head_local_ == tail_cache_) return false;
     }
-    *out = LoadSlot(head_local_);
+    *out = ring_.Load(head_local_);
     head_local_++;
     head_.store(head_local_);
     return true;
@@ -115,7 +101,7 @@ class SpscQueue {
     }
     const std::size_t count = n < avail ? n : avail;
     for (std::size_t i = 0; i < count; ++i) {
-      out[i] = LoadSlot(head_local_ + i);
+      out[i] = ring_.Load(head_local_ + i);
     }
     head_local_ += count;
     head_.store(head_local_);
@@ -144,56 +130,8 @@ class SpscQueue {
   }
 
  private:
-  // A line-sized block of payload words plus the simulator's coherence
-  // metadata for it. Payload accesses are relaxed std::atomics: the
-  // release-store / acquire-load of the shared index orders them (Lamport),
-  // and the explicit Touch charges the modeled line cost — exactly what
-  // hal::Atomic does, but at one line per kMsgsPerLine messages instead of
-  // one line per message.
-  struct alignas(kCacheLineSize) Line {
-    std::atomic<T> words[kMsgsPerLine];
-    hal::LineMeta meta;
-  };
-
-  // Rings smaller than a line still work: they use a single block with
-  // capacity words. Maps 0 to 1 so that an illegal capacity reaches the
-  // constructor's power-of-two CHECK instead of dividing by zero in the
-  // member initializers.
-  static constexpr std::size_t WordsPerLine(std::size_t capacity) {
-    if (capacity == 0) return 1;
-    return capacity < kMsgsPerLine ? capacity : kMsgsPerLine;
-  }
-
-  static constexpr std::size_t Log2(std::size_t v) {
-    std::size_t s = 0;
-    while ((std::size_t{1} << s) < v) ++s;
-    return s;
-  }
-
-  static void TouchLine(hal::LineMeta* meta, hal::MemOp op) {
-    hal::CoreContext* cc = hal::CurrentCore();
-    if (cc != nullptr) cc->platform->OnAtomicAccess(meta, op);
-  }
-
-  void StoreSlot(std::uint64_t idx, T value) {
-    const std::size_t pos = static_cast<std::size_t>(idx) & mask_;
-    Line& line = lines_[pos >> line_shift_];
-    TouchLine(&line.meta, hal::MemOp::kStore);
-    line.words[pos & word_mask_].store(value, std::memory_order_relaxed);
-  }
-
-  T LoadSlot(std::uint64_t idx) {
-    const std::size_t pos = static_cast<std::size_t>(idx) & mask_;
-    Line& line = lines_[pos >> line_shift_];
-    TouchLine(&line.meta, hal::MemOp::kLoad);
-    return line.words[pos & word_mask_].load(std::memory_order_relaxed);
-  }
-
   const std::size_t capacity_;
-  const std::size_t mask_;
-  const std::size_t word_mask_;
-  const std::size_t line_shift_;
-  std::unique_ptr<Line[]> lines_;
+  detail::LineRing<T> ring_;
 
   // Shared indices (each written by exactly one side).
   hal::Atomic<std::uint64_t> head_{0};  // written by consumer

@@ -102,8 +102,9 @@ class TxnAdmission {
   }
 
   // Fills `t` with the next transaction: source pull, OLLP plan, wait-die
-  // timestamp (age-ordered, low bits break ties between workers), latency
-  // start stamp, restart counter reset.
+  // timestamp (age-ordered, low 16 bits break ties between workers — see
+  // kWorkerIdBits; WorkerPool CHECKs that worker ids fit), latency start
+  // stamp, restart counter reset.
   void Admit(txn::Txn* t) {
     const hal::Cycles t0 = hal::Now();
     source_->Next(t);
@@ -111,7 +112,7 @@ class TxnAdmission {
     if (options_.charge_admission) {
       ctx_->stats.Add(TimeCategory::kExecution, hal::Now() - t0);
     }
-    t->timestamp = (++ts_counter_ << 8) |
+    t->timestamp = (++ts_counter_ << kWorkerIdBits) |
                    static_cast<std::uint64_t>(ctx_->worker_id);
     t->start_cycles = hal::Now();
     t->restarts = 0;

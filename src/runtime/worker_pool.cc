@@ -24,6 +24,10 @@ WorkerPool::WorkerPool(hal::Platform* platform, int num_workers,
       duration_seconds_(duration_seconds),
       cps_(platform->CyclesPerSecond()),
       workers_(num_workers) {
+  // Worker ids become wait-die tie-break bits (kWorkerIdBits); an id past
+  // the field would silently corrupt transaction age ordering.
+  ORTHRUS_CHECK_MSG(num_workers >= 1 && num_workers <= kMaxWorkers,
+                    "worker count exceeds the wait-die tie-break range");
   for (int w = 0; w < num_workers; ++w) {
     workers_[w].worker_id = w;
     workers_[w].rng.Seed(MixSeed(rng_seed, w));

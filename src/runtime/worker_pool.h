@@ -21,6 +21,16 @@
 
 namespace orthrus::runtime {
 
+// Width of the worker-id tie-break field packed into the low bits of every
+// wait-die timestamp (TxnAdmission::Admit). Worker ids beyond this range
+// would alias under the mask — two distinct workers' transactions could
+// compare equal or, worse, a high id could overflow into the age bits and
+// invert the age order — so WorkerPool CHECKs the bound at construction.
+// 16 bits covers production core counts (65536 workers) while leaving 48
+// bits of age: centuries of admissions at any realistic rate.
+inline constexpr int kWorkerIdBits = 16;
+inline constexpr int kMaxWorkers = 1 << kWorkerIdBits;
+
 // Per-worker deadline bookkeeping. Begin/Finish run on the worker's own
 // logical core so start/end are that core's clock readings.
 struct WorkerClock {

@@ -16,12 +16,13 @@ Table::Table(std::uint32_t id, std::string name, std::uint64_t capacity,
       name_(std::move(name)),
       capacity_(capacity),
       row_bytes_(row_bytes),
+      row_stride_((row_bytes + 7u) & ~7u),
       num_partitions_(num_partitions) {
   ORTHRUS_CHECK(capacity >= 1);
   ORTHRUS_CHECK(row_bytes >= 8);
   ORTHRUS_CHECK(num_partitions >= 1);
-  rows_ = std::make_unique<std::uint8_t[]>(capacity * row_bytes);
-  std::memset(rows_.get(), 0, capacity * row_bytes);
+  rows_ = std::make_unique<std::uint8_t[]>(capacity * row_stride_);
+  std::memset(rows_.get(), 0, capacity * row_stride_);
 
   // Size each partition's index for the worst case (all rows in one
   // partition would still fit); 2x occupancy headroom keeps probes short.

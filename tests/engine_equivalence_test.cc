@@ -136,18 +136,21 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
                           RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
   }
   // ORTHRUS variants: every message-passing configuration (forwarding
-  // on/off, batched delivery on/off, adaptive drain order, shared CC
-  // table) must agree with the shared-everything engines.
+  // on/off, batched delivery on/off, sender-side coalescing on/off,
+  // adaptive drain order, shared CC table) must agree with the
+  // shared-everything engines.
   struct OrthrusCase {
     bool forwarding;
     bool batched_mp;
     bool shared_cc;
     bool adaptive_drain = false;
+    bool coalesced_send = true;
   };
   for (const OrthrusCase& c :
        {OrthrusCase{true, true, false}, OrthrusCase{false, true, false},
         OrthrusCase{true, false, false}, OrthrusCase{true, true, true},
-        OrthrusCase{true, true, false, /*adaptive_drain=*/true}}) {
+        OrthrusCase{true, true, false, /*adaptive_drain=*/true},
+        OrthrusCase{true, true, false, false, /*coalesced_send=*/false}}) {
     engine::OrthrusOptions oo;
     oo.num_cc = kOrthrusCc;
     // One transaction in flight per exec thread: the commit cap is checked
@@ -157,6 +160,7 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     oo.batched_mp = c.batched_mp;
     oo.shared_cc_table = c.shared_cc;
     oo.adaptive_drain = c.adaptive_drain;
+    oo.coalesced_send = c.coalesced_send;
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
     outcomes.emplace_back(eng.name(),
                           RunOne(&eng, &orthrus_aligned,
@@ -264,6 +268,18 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTpccTransactionSet) {
     oo.num_cc = kOrthrusCc;
     oo.max_inflight = 1;
     oo.adaptive_drain = adaptive;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunTpcc(&eng, kOrthrusCc + kExecWorkers, kOrthrusCc,
+                                  kOrthrusCc));
+  }
+  {
+    // Sender-side coalescing off: per-message tail publications, same
+    // committed multiset.
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    oo.coalesced_send = false;
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
     outcomes.emplace_back(eng.name(),
                           RunTpcc(&eng, kOrthrusCc + kExecWorkers, kOrthrusCc,

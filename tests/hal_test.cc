@@ -70,9 +70,12 @@ TEST(Fiber, ManyFibersInterleave) {
   constexpr int kN = 50;
   std::vector<std::unique_ptr<Fiber>> fibers;
   std::vector<int> counts(kN, 0);
+  // Pre-sized so the self-pointer slots stay at stable addresses while the
+  // fibers below capture them.
+  std::vector<Fiber*> selves(kN, nullptr);
   void* main_sp = nullptr;
   for (int i = 0; i < kN; ++i) {
-    Fiber** self = new Fiber*;  // captured; freed below
+    Fiber** self = &selves[i];
     fibers.push_back(std::make_unique<Fiber>([&counts, i, self, &main_sp] {
       for (int round = 0; round < 3; ++round) {
         counts[i]++;

@@ -1,7 +1,10 @@
 // Tests for the message-passing layer: the latch-free SPSC queue (FIFO
 // order, capacity behaviour, wraparound, batched push/pop, and
-// true-concurrency stress on the native platform) and the QueueMesh that
-// wires full sender x receiver matrices of queues.
+// true-concurrency stress on the native platform), the CAS-reserved MPSC
+// queue and its MultiMesh (dynamic sender populations), the QueueMesh that
+// wires full sender x receiver matrices of queues, and the sender-side
+// SendBuffer coalescing layer.
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -9,7 +12,10 @@
 
 #include "hal/native_platform.h"
 #include "hal/sim_platform.h"
+#include "mp/mpsc_queue.h"
+#include "mp/multi_mesh.h"
 #include "mp/queue_mesh.h"
+#include "mp/send_buffer.h"
 #include "mp/spsc_queue.h"
 
 namespace orthrus::mp {
@@ -495,6 +501,522 @@ TEST(QueueMesh, NativeManyToOneStress) {
   platform.Run();
   EXPECT_TRUE(ok);
   EXPECT_EQ(received, kSenders * kPer);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+}
+
+// ------------------------------------------------- Drain delivery semantics
+
+// A zero max_batch used to clamp to 0 and silently deliver nothing forever,
+// wedging any caller that loops until Drain makes progress. Release builds
+// clamp up to 1; debug builds DCHECK the misuse loudly.
+TEST(QueueMesh, DrainZeroMaxBatchStillDelivers) {
+  QueueMesh<std::uint64_t> mesh(2, 1, 16);
+  for (std::uint64_t i = 0; i < 5; ++i) mesh.Send(0, 0, i);
+  mesh.Send(1, 0, 100);
+#ifdef NDEBUG
+  std::vector<std::uint64_t> got;
+  const std::size_t n = mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); }, /*max_batch=*/0);
+  EXPECT_EQ(n, 6u);
+  const std::vector<std::uint64_t> want = {0, 1, 2, 3, 4, 100};
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+#else
+  EXPECT_DEATH(mesh.Drain(0, [](std::uint64_t) {}, /*max_batch=*/0), "CHECK");
+#endif
+}
+
+// Deepest-first used to skip senders whose queues were empty at snapshot
+// time, so messages landing mid-drain could make one call deliver strictly
+// less than the round-robin path. Both orders must now deliver the same
+// multiset: every sender is visited at least once per call.
+TEST(QueueMesh, DeepestFirstVisitsSnapshotEmptySenders) {
+  const auto run = [](DrainOrder order) {
+    QueueMesh<std::uint64_t> mesh(3, 1, 16);
+    mesh.Send(1, 0, 101);
+    mesh.Send(1, 0, 102);
+    bool injected = false;
+    std::vector<std::uint64_t> got;
+    mesh.Drain(
+        0,
+        [&](std::uint64_t v) {
+          if (!injected) {
+            // Lands on sender 2, whose queue was empty at snapshot time.
+            mesh.Send(2, 0, 777);
+            injected = true;
+          }
+          got.push_back(v);
+        },
+        QueueMesh<std::uint64_t>::kDefaultBatch, order);
+    return got;
+  };
+  std::vector<std::uint64_t> rr = run(DrainOrder::kRoundRobin);
+  std::vector<std::uint64_t> df = run(DrainOrder::kDeepestFirst);
+  std::sort(rr.begin(), rr.end());
+  std::sort(df.begin(), df.end());
+  const std::vector<std::uint64_t> want = {101, 102, 777};
+  EXPECT_EQ(rr, want);
+  EXPECT_EQ(df, want);
+}
+
+// ----------------------------------------------- measured-imbalance drain
+
+TEST(QueueMesh, AdaptiveOrderKeepsSenderOrderWhenBalanced) {
+  // Equal depths: max == mean, far below the kImbalanceRatio trigger, so
+  // kAdaptive must serve plain sender order (and skip the sort).
+  QueueMesh<std::uint64_t> mesh(3, 1, 16);
+  for (int s = 2; s >= 0; --s) {
+    mesh.Send(s, 0, static_cast<std::uint64_t>(s) * 10);
+    mesh.Send(s, 0, static_cast<std::uint64_t>(s) * 10 + 1);
+  }
+  std::vector<std::uint64_t> got;
+  mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); },
+      QueueMesh<std::uint64_t>::kDefaultBatch, DrainOrder::kAdaptive);
+  const std::vector<std::uint64_t> want = {0, 1, 10, 11, 20, 21};
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(mesh.LastDrainWasDeepest(0));
+}
+
+TEST(QueueMesh, AdaptiveOrderSkipsSortOnSparseSnapshots) {
+  // One lone message among empty queues trivially satisfies the max/mean
+  // ratio (the empties drag the mean toward zero) but reordering cannot
+  // help — the trigger must not fire on it, nor on a single deep queue
+  // with no competing sender.
+  QueueMesh<std::uint64_t> mesh(16, 1, 16);
+  mesh.Send(3, 0, 42);
+  std::vector<std::uint64_t> got;
+  mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); },
+      QueueMesh<std::uint64_t>::kDefaultBatch, DrainOrder::kAdaptive);
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{42}));
+  EXPECT_FALSE(mesh.LastDrainWasDeepest(0));
+
+  for (std::uint64_t i = 0; i < 8; ++i) mesh.Send(5, 0, i);
+  got.clear();
+  mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); },
+      QueueMesh<std::uint64_t>::kDefaultBatch, DrainOrder::kAdaptive);
+  EXPECT_EQ(got.size(), 8u);
+  EXPECT_FALSE(mesh.LastDrainWasDeepest(0));
+
+  // Two active senders at nearly equal depths (4 vs 5) among 14 idle
+  // ones: the mean is taken over the non-empty senders, so this is
+  // balanced (5 < 2 * 4.5), not skewed — the 14 empties must not drag
+  // the mean down and force a pointless sort.
+  for (std::uint64_t i = 0; i < 4; ++i) mesh.Send(2, 0, i);
+  for (std::uint64_t i = 0; i < 5; ++i) mesh.Send(9, 0, i);
+  got.clear();
+  mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); },
+      QueueMesh<std::uint64_t>::kDefaultBatch, DrainOrder::kAdaptive);
+  EXPECT_EQ(got.size(), 9u);
+  EXPECT_FALSE(mesh.LastDrainWasDeepest(0));
+}
+
+TEST(QueueMesh, AdaptiveOrderGoesDeepestFirstWhenSkewed) {
+  // Depths 1 / 8 / 1: max/mean = 2.4 >= kImbalanceRatio, so the snapshot
+  // trips the trigger and sender 1 is served first.
+  QueueMesh<std::uint64_t> mesh(3, 1, 16);
+  mesh.Send(0, 0, 1);
+  for (std::uint64_t i = 0; i < 8; ++i) mesh.Send(1, 0, 100 + i);
+  mesh.Send(2, 0, 201);
+  std::vector<std::uint64_t> got;
+  const std::size_t n = mesh.Drain(
+      0, [&](std::uint64_t v) { got.push_back(v); },
+      QueueMesh<std::uint64_t>::kDefaultBatch, DrainOrder::kAdaptive);
+  EXPECT_EQ(n, 10u);
+  EXPECT_TRUE(mesh.LastDrainWasDeepest(0));
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t i = 0; i < 8; ++i) want.push_back(100 + i);
+  want.push_back(1);    // ties below the deepest fall back to sender order
+  want.push_back(201);
+  EXPECT_EQ(got, want);
+}
+
+// --------------------------------------------------------------- MpscQueue
+
+TEST(MpscQueue, FifoOrderSingleProducer) {
+  MpscQueue<std::uint64_t> q(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) EXPECT_TRUE(q.TryEnqueue(i));
+  std::uint64_t v;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(q.TryDequeue(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.TryDequeue(&v));
+}
+
+TEST(MpscQueue, FullRejectsEnqueue) {
+  MpscQueue<std::uint64_t> q(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.TryEnqueue(i));
+  EXPECT_FALSE(q.TryEnqueue(99));
+  std::uint64_t v;
+  EXPECT_TRUE(q.TryDequeue(&v));
+  EXPECT_TRUE(q.TryEnqueue(99));  // space freed
+}
+
+TEST(MpscQueue, PartialPushWhenNearlyFull) {
+  MpscQueue<std::uint64_t> q(8);
+  std::uint64_t in[8];
+  for (int i = 0; i < 8; ++i) in[i] = i;
+  EXPECT_EQ(q.PushBatch(in, 6), 6u);
+  EXPECT_EQ(q.PushBatch(in, 8), 2u);  // only 2 slots remain
+  EXPECT_EQ(q.PushBatch(in, 4), 0u);  // ring full
+  std::uint64_t out[8];
+  EXPECT_EQ(q.PopBatch(out, 8), 8u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[i], in[i]);
+  EXPECT_EQ(out[6], in[0]);
+  EXPECT_EQ(out[7], in[1]);
+}
+
+TEST(MpscQueue, WraparoundManyTimes) {
+  MpscQueue<std::uint64_t> q(4);
+  std::uint64_t v;
+  for (std::uint64_t round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(q.TryEnqueue(round));
+    EXPECT_TRUE(q.TryEnqueue(round + 1000000));
+    ASSERT_TRUE(q.TryDequeue(&v));
+    EXPECT_EQ(v, round);
+    ASSERT_TRUE(q.TryDequeue(&v));
+    EXPECT_EQ(v, round + 1000000);
+  }
+  EXPECT_EQ(q.SizeRaw(), 0u);
+}
+
+TEST(MpscQueue, NativeMultiProducerStress) {
+  // Four real producer threads sharing one ring: nothing lost, nothing
+  // duplicated, and each producer's own stream arrives in its send order.
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPer = 50000;
+  MpscQueue<std::uint64_t> q(1024);
+  hal::NativePlatform platform(kProducers + 1);
+  for (int p = 0; p < kProducers; ++p) {
+    platform.Spawn(p, [&q, p] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        while (!q.TryEnqueue(static_cast<std::uint64_t>(p) * kPer + i)) {
+          hal::CpuRelax();
+        }
+      }
+    });
+  }
+  std::uint64_t received = 0;
+  std::uint64_t next_from[kProducers] = {0, 0, 0, 0};
+  bool ok = true;
+  platform.Spawn(kProducers, [&] {
+    std::uint64_t buf[8];
+    while (received < kProducers * kPer) {
+      const std::size_t n = q.PopBatch(buf, 8);
+      if (n == 0) {
+        hal::CpuRelax();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const int p = static_cast<int>(buf[i] / kPer);
+        if (p >= kProducers || buf[i] % kPer != next_from[p]) ok = false;
+        next_from[p]++;
+      }
+      received += n;
+    }
+  });
+  platform.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, kProducers * kPer);
+  EXPECT_EQ(q.SizeRaw(), 0u);
+}
+
+TEST(MpscQueue, NativeBatchedProducersPublishInReservationOrder) {
+  // Batched pushes from competing producers: each batch is contiguous in
+  // the ring (the consumer never observes a torn or interleaved batch).
+  constexpr int kProducers = 3;
+  constexpr std::uint64_t kBatches = 20000;
+  constexpr std::size_t kBatch = 5;
+  MpscQueue<std::uint64_t> q(512);
+  hal::NativePlatform platform(kProducers + 1);
+  for (int p = 0; p < kProducers; ++p) {
+    platform.Spawn(p, [&q, p] {
+      std::uint64_t buf[kBatch];
+      for (std::uint64_t b = 0; b < kBatches; ++b) {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          buf[i] = (static_cast<std::uint64_t>(p) << 32) | (b * kBatch + i);
+        }
+        std::size_t pushed = 0;
+        while (pushed < kBatch) {
+          const std::size_t k = q.PushBatch(buf + pushed, kBatch - pushed);
+          if (k == 0) hal::CpuRelax();
+          pushed += k;
+        }
+      }
+    });
+  }
+  const std::uint64_t total = kProducers * kBatches * kBatch;
+  std::uint64_t received = 0;
+  std::uint64_t next_from[kProducers] = {0, 0, 0};
+  bool ok = true;
+  platform.Spawn(kProducers, [&] {
+    std::uint64_t buf[8];
+    while (received < total) {
+      const std::size_t n = q.PopBatch(buf, 8);
+      if (n == 0) {
+        hal::CpuRelax();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const int p = static_cast<int>(buf[i] >> 32);
+        const std::uint64_t seq = buf[i] & 0xFFFFFFFFull;
+        if (p >= kProducers || seq != next_from[p]) ok = false;
+        next_from[p]++;
+      }
+      received += n;
+    }
+  });
+  platform.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, total);
+}
+
+TEST(MpscQueue, SimulatedProducersAreDeterministic) {
+  const auto run = [] {
+    hal::SimPlatform sim(3);
+    MpscQueue<std::uint64_t> q(64);
+    std::uint64_t sum = 0, received = 0;
+    for (int p = 0; p < 2; ++p) {
+      sim.Spawn(p, [&q, p] {
+        for (std::uint64_t i = 1; i <= 500; ++i) {
+          while (!q.TryEnqueue(static_cast<std::uint64_t>(p) * 1000 + i)) {
+            hal::CpuRelax();
+          }
+          hal::ConsumeCycles(7 + 3 * static_cast<hal::Cycles>(p));
+        }
+      });
+    }
+    sim.Spawn(2, [&] {
+      while (received < 1000) {
+        std::uint64_t v;
+        if (q.TryDequeue(&v)) {
+          received++;
+          sum += v;
+        } else {
+          hal::CpuRelax();
+        }
+      }
+    });
+    sim.Run();
+    return sum;
+  };
+  const std::uint64_t a = run();
+  const std::uint64_t b = run();
+  EXPECT_EQ(a, b);
+  // 500 values per producer: p=0 contributes sum 1..500, p=1 the same plus
+  // 500 * 1000.
+  const std::uint64_t per = 500ull * 501ull / 2;
+  EXPECT_EQ(a, 2 * per + 500ull * 1000ull);
+}
+
+// --------------------------------------------------------------- MultiMesh
+
+TEST(MultiMesh, RoutesReceiversIndependently) {
+  MultiMesh<std::uint64_t> mesh(3, 16);
+  EXPECT_EQ(mesh.receivers(), 3);
+  for (int r = 0; r < 3; ++r) {
+    mesh.Send(r, static_cast<std::uint64_t>(100 + r));
+    mesh.Send(r, static_cast<std::uint64_t>(200 + r));
+  }
+  EXPECT_EQ(mesh.SizeRawTotal(), 6u);
+  for (int r = 0; r < 3; ++r) {
+    std::vector<std::uint64_t> got;
+    const std::size_t n =
+        mesh.Drain(r, [&](std::uint64_t v) { got.push_back(v); });
+    EXPECT_EQ(n, 2u);
+    const std::vector<std::uint64_t> want = {
+        static_cast<std::uint64_t>(100 + r),
+        static_cast<std::uint64_t>(200 + r)};
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+}
+
+TEST(MultiMesh, NativeProducerChurnStress) {
+  // The point of the MPSC mesh: logical senders come and go without any
+  // mesh rebuild. Three threads each impersonate five successive logical
+  // senders (15 distinct sender identities through a mesh that never knew
+  // a sender count), and the consumer checks per-logical-sender FIFO.
+  constexpr int kThreads = 3;
+  constexpr int kWaves = 5;
+  constexpr std::uint64_t kPer = 8000;
+  MultiMesh<std::uint64_t> mesh(1, 256);
+  hal::NativePlatform platform(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    platform.Spawn(t, [&mesh, t] {
+      for (int w = 0; w < kWaves; ++w) {
+        const std::uint64_t logical =
+            static_cast<std::uint64_t>(t) * kWaves + w;
+        for (std::uint64_t i = 0; i < kPer; ++i) {
+          mesh.Send(0, (logical << 32) | i);
+        }
+      }
+    });
+  }
+  const std::uint64_t total = kThreads * kWaves * kPer;
+  std::uint64_t received = 0;
+  std::uint64_t next_from[kThreads * kWaves] = {};
+  bool ok = true;
+  platform.Spawn(kThreads, [&] {
+    while (received < total) {
+      const std::size_t n = mesh.Drain(0, [&](std::uint64_t v) {
+        const std::uint64_t logical = v >> 32;
+        if (logical >= kThreads * kWaves ||
+            (v & 0xFFFFFFFFull) != next_from[logical]) {
+          ok = false;
+        }
+        next_from[logical]++;
+      });
+      received += n;
+      if (n == 0) hal::CpuRelax();
+    }
+  });
+  platform.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, total);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+}
+
+// -------------------------------------------------------------- SendBuffer
+
+TEST(SendBuffer, StagesUntilFlushAll) {
+  QueueMesh<std::uint64_t> mesh(1, 2, 32);
+  SendBuffer<std::uint64_t> sb(&mesh, 0);
+  sb.Send(0, 1);
+  sb.Send(1, 2);
+  sb.Send(0, 3);
+  // Nothing visible to receivers until a flush.
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+  EXPECT_EQ(sb.Pending(), 3u);
+  sb.FlushAll();
+  EXPECT_EQ(sb.Pending(), 0u);
+  EXPECT_EQ(mesh.SizeRawTotal(), 3u);
+  std::vector<std::uint64_t> got0, got1;
+  mesh.Drain(0, [&](std::uint64_t v) { got0.push_back(v); });
+  mesh.Drain(1, [&](std::uint64_t v) { got1.push_back(v); });
+  EXPECT_EQ(got0, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(got1, (std::vector<std::uint64_t>{2}));
+  // One publication per flushed pair.
+  EXPECT_EQ(sb.messages(), 3u);
+  EXPECT_EQ(sb.publications(), 2u);
+}
+
+TEST(SendBuffer, AutoFlushesWhenStageFills) {
+  QueueMesh<std::uint64_t> mesh(1, 1, 64);
+  SendBuffer<std::uint64_t> sb(&mesh, 0);
+  const std::size_t stage = sb.stage_capacity();
+  EXPECT_EQ(stage, SpscQueue<std::uint64_t>::kMsgsPerLine);
+  for (std::size_t i = 0; i < stage - 1; ++i) {
+    sb.Send(0, i);
+    EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+  }
+  sb.Send(0, stage - 1);  // fills the stage: flushes without FlushAll
+  EXPECT_EQ(mesh.SizeRawTotal(), stage);
+  EXPECT_EQ(sb.Pending(), 0u);
+  EXPECT_EQ(sb.publications(), 1u);
+}
+
+TEST(SendBuffer, CoalescingPublishesFewerTailIndices) {
+  // The acceptance bar for sender-side coalescing: at kMsgsPerLine-sized
+  // bursts the coalesced sender publishes its tail >= 4x less often than
+  // the per-message baseline (stage capacity 1, which degrades to exactly
+  // QueueMesh::Send behaviour: one publication per message).
+  constexpr std::size_t kBurst = SpscQueue<std::uint64_t>::kMsgsPerLine;
+  constexpr int kBursts = 64;
+  const auto publications = [](std::size_t stage_capacity) {
+    QueueMesh<std::uint64_t> mesh(1, 1, 256);
+    SendBuffer<std::uint64_t> sb(&mesh, 0, stage_capacity);
+    std::uint64_t sink = 0;
+    for (int b = 0; b < kBursts; ++b) {
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        sb.Send(0, static_cast<std::uint64_t>(b) * kBurst + i);
+      }
+      sb.FlushAll();
+      mesh.Drain(0, [&sink](std::uint64_t v) { sink += v; });
+    }
+    EXPECT_EQ(sb.messages(), static_cast<std::uint64_t>(kBursts) * kBurst);
+    return sb.publications();
+  };
+  const std::uint64_t coalesced = publications(kBurst);
+  const std::uint64_t per_message = publications(1);
+  EXPECT_EQ(per_message, static_cast<std::uint64_t>(kBursts) * kBurst);
+  EXPECT_EQ(coalesced, static_cast<std::uint64_t>(kBursts));
+  EXPECT_GE(per_message, 4 * coalesced);
+}
+
+TEST(SendBuffer, NativePartialFlushStress) {
+  // A ring as small as one stage forces Flush's partial-PushBatch retry
+  // path constantly: the consumer frees slots mid-flush. FIFO must hold
+  // and nothing may be lost or duplicated.
+  constexpr std::uint64_t kN = 100000;
+  QueueMesh<std::uint64_t> mesh(1, 1, 8);
+  hal::NativePlatform platform(2);
+  std::uint64_t publications = 0;
+  platform.Spawn(0, [&] {
+    SendBuffer<std::uint64_t> sb(&mesh, 0);
+    for (std::uint64_t i = 0; i < kN; ++i) sb.Send(0, i);
+    sb.FlushAll();
+    publications = sb.publications();
+  });
+  bool ok = true;
+  platform.Spawn(1, [&] {
+    std::uint64_t expect = 0;
+    while (expect < kN) {
+      const std::size_t n = mesh.Drain(0, [&](std::uint64_t v) {
+        if (v != expect) ok = false;
+        expect++;
+      });
+      if (n == 0) hal::CpuRelax();
+    }
+  });
+  platform.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+  // Partial flushes can only add publications beyond the one-per-stage
+  // floor; they never lose messages.
+  EXPECT_GE(publications, kN / SpscQueue<std::uint64_t>::kMsgsPerLine);
+}
+
+TEST(SendBuffer, NativeTwoSendersTwoReceiversStress) {
+  // Full mesh shape: two coalescing senders fanning out to two receivers,
+  // per-(sender, receiver) FIFO checked at both consumers.
+  constexpr std::uint64_t kPer = 40000;  // per (sender, receiver) pair
+  QueueMesh<std::uint64_t> mesh(2, 2, 16);
+  hal::NativePlatform platform(4);
+  for (int s = 0; s < 2; ++s) {
+    platform.Spawn(s, [&mesh, s] {
+      SendBuffer<std::uint64_t> sb(&mesh, s);
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        for (int r = 0; r < 2; ++r) {
+          sb.Send(r, (static_cast<std::uint64_t>(s) << 32) | i);
+        }
+      }
+      sb.FlushAll();
+    });
+  }
+  bool ok[2] = {true, true};
+  for (int r = 0; r < 2; ++r) {
+    platform.Spawn(2 + r, [&mesh, &ok, r] {
+      std::uint64_t next_from[2] = {0, 0};
+      std::uint64_t received = 0;
+      while (received < 2 * kPer) {
+        const std::size_t n = mesh.Drain(r, [&](std::uint64_t v) {
+          const int s = static_cast<int>(v >> 32);
+          if (s >= 2 || (v & 0xFFFFFFFFull) != next_from[s]) ok[r] = false;
+          next_from[s]++;
+        });
+        received += n;
+        if (n == 0) hal::CpuRelax();
+      }
+    });
+  }
+  platform.Run();
+  EXPECT_TRUE(ok[0]);
+  EXPECT_TRUE(ok[1]);
   EXPECT_EQ(mesh.SizeRawTotal(), 0u);
 }
 

@@ -264,9 +264,47 @@ TEST(TxnDriver, TimestampsAreAgeOrderedAndWorkerTagged) {
   const DriverRun r = RunDriver(CappedOptions(3), kAmpleDuration, 0, 0, 100);
   ASSERT_EQ(r.observed_timestamps.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
-    // (counter << 8) | worker_id, counter starting at 1, worker 0.
-    EXPECT_EQ(r.observed_timestamps[i], (i + 1) << 8);
+    // (counter << kWorkerIdBits) | worker_id, counter starting at 1,
+    // worker 0.
+    EXPECT_EQ(r.observed_timestamps[i], (i + 1) << kWorkerIdBits);
   }
+}
+
+// Regression: the tie-break field used to be 8 bits, so worker 256 aliased
+// worker 0 — (1 << 8) | 256 == (1 << 8) | 0 — and two distinct workers'
+// first transactions compared equal under wait-die (and ids past 256 bled
+// into the age bits, inverting age order). With the 16-bit field every
+// (age, worker) pair below kMaxWorkers is distinct and age strictly
+// dominates the worker tag.
+TEST(TxnAdmission, TimestampTieBreakSurvivesWorker256) {
+  NoopLogic logic;
+  NoopSource src_a(&logic), src_b(&logic);
+  storage::Database db;
+  hal::SimPlatform sim(1);
+  WorkerPool pool(&sim, 300, kAmpleDuration);
+  DriverOptions opts;
+  TxnAdmission a0(opts, &db, &src_a, &pool.worker(0));
+  TxnAdmission a256(opts, &db, &src_b, &pool.worker(256));
+
+  txn::Txn t0_first, t256_first, t0_second;
+  a0.Admit(&t0_first);
+  a256.Admit(&t256_first);
+  a0.Admit(&t0_second);
+
+  // Same age, different workers: distinct, ordered by worker id.
+  EXPECT_NE(t0_first.timestamp, t256_first.timestamp);
+  EXPECT_LT(t0_first.timestamp, t256_first.timestamp);
+  // Age dominates the tie-break: worker 256's first admission is strictly
+  // older than worker 0's second, despite the bigger worker tag.
+  EXPECT_LT(t256_first.timestamp, t0_second.timestamp);
+}
+
+TEST(WorkerPool, RejectsWorkerIdsBeyondTheTieBreakField) {
+  hal::SimPlatform sim(1);
+  EXPECT_DEATH(WorkerPool(&sim, kMaxWorkers + 1, 1.0), "CHECK");
+  // The full field is usable.
+  WorkerPool ok(&sim, kMaxWorkers, 1.0);
+  EXPECT_EQ(ok.num_workers(), kMaxWorkers);
 }
 
 // ------------------------------------------------------------ WorkerPool
