@@ -42,15 +42,21 @@ int main() {
     const char* label;
     bool batched_mp;
     bool coalesced_send;
+    bool combined_grants = false;
   };
   const Arm arms[] = {
       {"batched+coalesced (default)", true, true},
       {"recv batched only", true, false},
       {"send coalesced only", false, true},
       {"neither (msg/pub)", false, false},
+      // CC->exec grant combining on top of the default: packs a quantum's
+      // grants per exec thread into single words (fewer words, one extra
+      // quantum of grant latency).
+      {"default + combined grants", true, true, true},
   };
   for (const Arm& arm : arms) {
     std::vector<double> tputs;
+    std::string words;
     for (int k : parts_per_txn) {
       workload::KvConfig kv;
       kv.num_records = KvRecords();
@@ -64,11 +70,20 @@ int main() {
       oo.num_cc = kCc;
       oo.batched_mp = arm.batched_mp;
       oo.coalesced_send = arm.coalesced_send;
+      oo.combined_grants = arm.combined_grants;
       engine::OrthrusEngine eng(BenchOptions(kCores), oo);
       RunResult r = RunPoint(&eng, &wl, kCores, 1);
       tputs.push_back(r.Throughput());
+      if (arm.combined_grants && r.total.committed > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %.2f",
+                      static_cast<double>(r.total.messages_sent) /
+                          static_cast<double>(r.total.committed));
+        words += buf;
+      }
     }
     PrintRow(arm.label, tputs);
+    if (!words.empty()) PrintNote("  msg words/commit:" + words);
   }
   return 0;
 }

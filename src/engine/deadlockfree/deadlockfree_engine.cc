@@ -4,54 +4,44 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/locking_strategy.h"
+
 namespace orthrus::engine {
 namespace {
 
 // One attempt of deadlock-free locking: sort the pre-declared access set
-// into the canonical global order, acquire everything (FIFO wait, no
-// deadlock handling — deadlock freedom by construction), then execute with
-// all locks held.
-class DeadlockFreeStrategy final : public runtime::ExecutionStrategy {
+// into the canonical global order, acquire everything (FIFO wait via
+// runtime::LockingStrategy with a null deadlock policy — deadlock freedom
+// by construction), then execute with all locks held.
+class DeadlockFreeStrategy final : public runtime::LockingStrategy {
  public:
   DeadlockFreeStrategy(lock::LockTable* lock_table, lock::WorkerLockCtx* ctx,
                        storage::Database* db, WorkerStats* st)
-      : lock_table_(lock_table), ctx_(ctx), db_(db), st_(st) {}
+      : LockingStrategy(lock_table, ctx, /*policy=*/nullptr, st), db_(db) {}
 
   runtime::TxnOutcome TryExecute(txn::Txn* t) override {
     std::sort(t->accesses.begin(), t->accesses.end(), txn::AccessKeyOrder());
 
-    // Phase 1: acquire everything.
+    // Phase 1: acquire everything, charged as one kLocking span (waits
+    // inside it are additionally charged to kWaiting by the lock table).
     hal::Cycles t0 = hal::Now();
-    for (std::size_t i = 0; i < t->accesses.size(); ++i) {
-      const txn::Access& a = t->accesses[i];
-      lock::LockTable::AcquireResult r =
-          lock_table_->Acquire(ctx_, a.table, a.key, a.mode, /*policy=*/nullptr);
-      if (r == lock::LockTable::AcquireResult::kWaiting) {
-        const bool granted = lock_table_->Wait(ctx_, /*policy=*/nullptr);
-        ORTHRUS_CHECK_MSG(granted, "FIFO wait cannot abort");
-      }
-    }
-    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+    for (const txn::Access& a : t->accesses) AcquireOrdered(a);
+    stats()->Add(TimeCategory::kLocking, hal::Now() - t0);
 
     // Phase 2: execute with all locks held.
     t0 = hal::Now();
     for (txn::Access& a : t->accesses) ResolveRow(db_, &a);
-    txn::ExecContext ec{db_, st_, /*charge_cycles=*/true};
+    txn::ExecContext ec{db_, stats(), /*charge_cycles=*/true};
     const bool ok = t->logic->Run(t, ec);
-    st_->Add(TimeCategory::kExecution, hal::Now() - t0);
+    stats()->Add(TimeCategory::kExecution, hal::Now() - t0);
 
-    t0 = hal::Now();
-    lock_table_->ReleaseAll(ctx_);
-    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+    ReleaseAllLocks();
     return ok ? runtime::TxnOutcome::kCommitted
               : runtime::TxnOutcome::kMismatch;
   }
 
  private:
-  lock::LockTable* lock_table_;
-  lock::WorkerLockCtx* ctx_;
   storage::Database* db_;
-  WorkerStats* st_;
 };
 
 }  // namespace

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "engine/autotune.h"
+#include "mp/multi_mesh.h"
 #include "mp/queue_mesh.h"
 #include "mp/send_buffer.h"
 #include "txn/ollp.h"
@@ -23,15 +27,24 @@ constexpr int kMaxStages = kMaxAccesses;
 // ------------------------------------------------------------- messages
 
 // A message is a pointer to a transaction control block with a small tag in
-// the low (alignment) bits.
+// the low (alignment) bits — except kGrantCombined, which carries no
+// pointer at all: it packs up to kMaxCombinedGrants in-flight-window slot
+// ids (one byte each) plus a count, so several grants bound for the same
+// exec thread cost one message word.
 enum MsgTag : std::uint64_t {
-  kAcquire = 0,    // exec->CC or CC->CC: acquire locks for tcb's cur_stage
-  kRelease = 1,    // exec->CC: release this CC's locks of tcb
-  kGrant = 2,      // CC->exec: all stages granted, execute
-  kStageDone = 3,  // CC->exec (non-forwarding mode): one stage granted
-  kAck = 4,        // CC->exec: release processed
+  kAcquire = 0,        // exec->CC or CC->CC: acquire locks for cur_stage
+  kRelease = 1,        // exec->CC: release this CC's locks of tcb
+  kGrant = 2,          // CC->exec: all stages granted, execute
+  kStageDone = 3,      // CC->exec (non-forwarding mode): one stage granted
+  kAck = 4,            // CC->exec: release processed
+  kGrantCombined = 5,  // CC->exec: packed slot-id grants (combined_grants)
   kTagMask = 7,
 };
+
+// kGrantCombined word layout: bits [0,3) tag, bits [3,7) slot count
+// (1..kMaxCombinedGrants), byte i+1 the i-th slot id. Slot ids are
+// in-flight-window indexes, so combined grants require max_inflight <= 256.
+constexpr int kMaxCombinedGrants = 7;
 
 struct Tcb;
 
@@ -46,6 +59,24 @@ Tcb* DecodeTcb(std::uint64_t w) {
 }
 
 MsgTag DecodeTag(std::uint64_t w) { return static_cast<MsgTag>(w & kTagMask); }
+
+std::uint64_t EncodeCombinedGrant(const std::uint8_t* slots, int count) {
+  ORTHRUS_DCHECK(count >= 1 && count <= kMaxCombinedGrants);
+  std::uint64_t w =
+      kGrantCombined | (static_cast<std::uint64_t>(count) << 3);
+  for (int i = 0; i < count; ++i) {
+    w |= static_cast<std::uint64_t>(slots[i]) << (8 * (i + 1));
+  }
+  return w;
+}
+
+int DecodeCombinedCount(std::uint64_t w) {
+  return static_cast<int>((w >> 3) & 0xF);
+}
+
+int DecodeCombinedSlot(std::uint64_t w, int i) {
+  return static_cast<int>((w >> (8 * (i + 1))) & 0xFF);
+}
 
 struct Tcb;
 struct ScLock;
@@ -371,12 +402,17 @@ class SharedCcTable {
 // --------------------------------------------------------- shared state
 
 using Mesh = mp::QueueMesh<std::uint64_t>;
+using MultiMesh = mp::MultiMesh<std::uint64_t>;
 using SendBuf = mp::SendBuffer<std::uint64_t>;
+using MultiSendBuf = mp::MultiSendBuffer<std::uint64_t>;
 
 struct Shared {
   int n_cc = 0;
   int n_exec = 0;
   bool forwarding = true;
+  bool combined_grants = false;
+  bool adaptive_flush = false;
+  bool elastic = false;
   // Messages popped per PopBatch on the receive side; 1 is the unbatched
   // ablation baseline.
   std::size_t drain_batch = Mesh::kDefaultBatch;
@@ -389,9 +425,23 @@ struct Shared {
   hal::Cycles cc_op_cycles = 20;
 
   // Queue meshes, indexed (sender, receiver).
-  Mesh exec_to_cc;  // (exec, cc)  acquire + release
+  Mesh exec_to_cc;  // (exec, cc)  acquire + release (static roles)
   Mesh cc_to_cc;    // (cc, cc)    forward
   Mesh cc_to_exec;  // (cc, exec)  grant / stage-done / ack
+
+  // Elastic mode replaces exec_to_cc with the dynamic-sender MPSC mesh:
+  // exec threads come and go (park/resume) without a mesh rebuild. The
+  // CC-side meshes stay static — the CC population is fixed, and every
+  // cc_to_exec receiver exists for the whole run (a parked exec simply has
+  // an empty queue: it drains to empty before retiring).
+  MultiMesh exec_to_cc_multi;
+
+  // Elastic-mode doorbell: how many exec threads should be active. Exec
+  // thread e runs while e < target; CC thread 0's controller moves it.
+  runtime::ParkGate exec_gate;
+  hal::Atomic<std::uint64_t> reallocations{0};
+  // Exec-thread worker contexts, for the controller's epoch snapshot reads.
+  std::vector<runtime::WorkerContext*> exec_ctxs;
 
   hal::Atomic<std::uint64_t> execs_done{0};
   hal::Atomic<std::uint64_t> inflight_global{0};
@@ -404,14 +454,26 @@ struct Shared {
 
 class CcThread {
  public:
+  // `controller` is non-null only on the CC thread that runs the elastic
+  // reallocation epochs (CC 0); `epoch_cycles` is that controller's
+  // decision period in cycles.
   CcThread(int cc_id, Shared* shared, WorkerStats* stats,
-           std::size_t lock_slots)
+           std::size_t lock_slots, ElasticController* controller = nullptr,
+           hal::Cycles epoch_cycles = 0)
       : cc_id_(cc_id),
         shared_(shared),
         stats_(stats),
         locks_(lock_slots),
-        out_cc_(&shared->cc_to_cc, cc_id, shared->send_stage),
-        out_exec_(&shared->cc_to_exec, cc_id, shared->send_stage) {}
+        out_cc_(&shared->cc_to_cc, cc_id, shared->send_stage,
+                shared->adaptive_flush),
+        out_exec_(&shared->cc_to_exec, cc_id, shared->send_stage,
+                  shared->adaptive_flush),
+        controller_(controller),
+        epoch_cycles_(epoch_cycles) {
+    if (shared->combined_grants) {
+      grant_stash_.resize(static_cast<std::size_t>(shared->n_exec));
+    }
+  }
 
   void Main() {
     // Polling cached-empty queues costs L1 hits; a small cap keeps grant
@@ -428,8 +490,10 @@ class CcThread {
       // End of the scheduling quantum: grants, forwards, and acks staged
       // while handling this quantum's messages go out before we either
       // loop or idle — a staged message must never wait on an idle sender.
+      FlushCombinedGrants();
       out_cc_.FlushAll();
       out_exec_.FlushAll();
+      if (controller_ != nullptr) MaybeReallocate();
       if (progress) {
         idle.Reset();
         continue;
@@ -438,6 +502,8 @@ class CcThread {
         ORTHRUS_CHECK_MSG(held_ == 0, "CC exiting with locks held");
         ORTHRUS_CHECK_MSG(out_cc_.Pending() == 0 && out_exec_.Pending() == 0,
                           "CC exiting with staged messages");
+        ORTHRUS_CHECK_MSG(StashedGrants() == 0,
+                          "CC exiting with stashed combined grants");
         break;
       }
       const hal::Cycles t0 = hal::Now();
@@ -449,13 +515,93 @@ class CcThread {
  private:
   bool DrainOnce() {
     const auto handle = [this](std::uint64_t w) { Handle(w); };
-    std::size_t n = shared_->exec_to_cc.Drain(
-        cc_id_, handle, shared_->drain_batch, shared_->drain_order);
+    // Elastic mode: exec senders live on the dynamic MPSC mesh (fan-in is
+    // a set of shared shard queues per CC thread, drained in fixed shard
+    // order — drain_order does not apply there: messages inside a shard
+    // already arrive in global order, so there is no per-sender depth to
+    // rank); static mode keeps the per-pair SPSC matrix, where
+    // drain_order picks the sender visit order.
+    std::size_t n =
+        shared_->elastic
+            ? shared_->exec_to_cc_multi.Drain(cc_id_, handle,
+                                              shared_->drain_batch)
+            : shared_->exec_to_cc.Drain(cc_id_, handle, shared_->drain_batch,
+                                        shared_->drain_order);
     if (shared_->forwarding) {
       n += shared_->cc_to_cc.Drain(cc_id_, handle, shared_->drain_batch,
                                    shared_->drain_order);
     }
     return n != 0;
+  }
+
+  // --- elastic reallocation epochs (controller CC thread only) ---------
+
+  // Once per epoch: read the exec threads' published commit counters,
+  // feed the measured commit *rate* to the controller, and ring the park
+  // gate when the target moves. Runs between quanta, so a decision never
+  // interleaves with message handling. The sample is normalized by the
+  // interval actually elapsed — epochs only end at quantum boundaries, so
+  // a long quantum stretches one; an unnormalized count would inflate
+  // that epoch's sample in proportion and skew the sweep's comparison.
+  void MaybeReallocate() {
+    const hal::Cycles now = hal::Now();
+    if (next_epoch_ == 0) {  // first quantum: anchor the epoch clock
+      next_epoch_ = now + epoch_cycles_;
+      last_epoch_now_ = now;
+      return;
+    }
+    if (now < next_epoch_) return;
+    next_epoch_ = now + epoch_cycles_;
+    std::uint64_t committed = 0;
+    for (runtime::WorkerContext* w : shared_->exec_ctxs) {
+      committed += w->ReadEpochSnapshot().committed;
+    }
+    const double elapsed = static_cast<double>(now - last_epoch_now_);
+    const double rate =
+        static_cast<double>(committed - last_epoch_committed_) / elapsed;
+    last_epoch_committed_ = committed;
+    last_epoch_now_ = now;
+    const int before = controller_->target();
+    const int target = controller_->Step(rate);  // commits per cycle
+    if (target != before) {
+      shared_->exec_gate.SetTarget(target);
+      shared_->reallocations.fetch_add(1);
+    }
+    // Controller debugging/bench observability (host-side, unmodeled).
+    static const bool trace = std::getenv("ORTHRUS_ELASTIC_TRACE") != nullptr;
+    if (trace) {
+      std::fprintf(stderr,
+                   "[elastic] epoch@%llu rate=%.3g/cycle target %d->%d\n",
+                   static_cast<unsigned long long>(now), rate, before,
+                   target);
+    }
+  }
+
+  // --- combined grants -------------------------------------------------
+
+  std::size_t StashedGrants() const {
+    std::size_t n = 0;
+    for (const auto& s : grant_stash_) n += s.size();
+    return n;
+  }
+
+  // Packs each exec thread's stashed grant slots into words of up to
+  // kMaxCombinedGrants and stages them for the quantum flush.
+  void FlushCombinedGrants() {
+    if (!shared_->combined_grants) return;
+    for (int e = 0; e < shared_->n_exec; ++e) {
+      std::vector<std::uint8_t>& stash =
+          grant_stash_[static_cast<std::size_t>(e)];
+      std::size_t i = 0;
+      while (i < stash.size()) {
+        const int count = static_cast<int>(
+            std::min<std::size_t>(kMaxCombinedGrants, stash.size() - i));
+        out_exec_.Send(e, EncodeCombinedGrant(&stash[i], count));
+        stats_->messages_sent++;
+        i += static_cast<std::size_t>(count);
+      }
+      stash.clear();
+    }
   }
 
   void Handle(std::uint64_t word) {
@@ -597,6 +743,13 @@ class CcThread {
   }
 
   void SendGrant(Tcb* tcb) {
+    if (shared_->combined_grants) {
+      // Stash the grant as a slot id; FlushCombinedGrants packs this exec
+      // thread's quantum of grants into words at quantum end.
+      grant_stash_[static_cast<std::size_t>(tcb->exec_id)].push_back(
+          static_cast<std::uint8_t>(tcb->slot));
+      return;
+    }
     out_exec_.Send(tcb->exec_id, Encode(tcb, kGrant));
     stats_->messages_sent++;
   }
@@ -614,10 +767,10 @@ class CcThread {
         // two message delays per CC thread (2*Ncc total).
         out_exec_.Send(tcb->exec_id, Encode(tcb, kStageDone));
       }
+      stats_->messages_sent++;
     } else {
-      out_exec_.Send(tcb->exec_id, Encode(tcb, kGrant));
+      SendGrant(tcb);
     }
-    stats_->messages_sent++;
   }
 
   int cc_id_;
@@ -628,6 +781,15 @@ class CcThread {
   // end of every scheduling quantum in Main.
   SendBuf out_cc_;
   SendBuf out_exec_;
+  // Elastic-epoch controller state (CC 0 only; null elsewhere).
+  ElasticController* controller_;
+  hal::Cycles epoch_cycles_;
+  hal::Cycles next_epoch_ = 0;
+  hal::Cycles last_epoch_now_ = 0;
+  std::uint64_t last_epoch_committed_ = 0;
+  // Per-exec-thread grant stash (combined_grants mode), cleared every
+  // quantum by FlushCombinedGrants.
+  std::vector<std::vector<std::uint8_t>> grant_stash_;
   std::uint64_t held_ = 0;
   std::vector<Tcb*> runnable_;  // scratch for shared-mode release grants
 };
@@ -643,11 +805,24 @@ class ExecThread {
       : exec_id_(exec_id),
         shared_(shared),
         db_(db),
+        worker_(worker),
         stats_(&worker->stats),
         max_inflight_(max_inflight),
         source_(workload.MakeSource(shared->n_cc + exec_id)),
-        admission_(driver_options, db, source_.get(), worker),
-        out_cc_(&shared->exec_to_cc, exec_id, shared->send_stage) {
+        admission_(driver_options, db, source_.get(), worker) {
+    // Elastic mode stages exec->CC sends for the dynamic MPSC mesh;
+    // static mode keeps the per-pair SPSC buffer. Exactly one exists.
+    if (shared_->elastic) {
+      // Shard hint = exec id: stable for the thread's lifetime, spreads
+      // senders evenly across the mesh's shards.
+      out_cc_multi_ = std::make_unique<MultiSendBuf>(
+          &shared->exec_to_cc_multi, exec_id, shared->send_stage,
+          shared->adaptive_flush);
+    } else {
+      out_cc_ = std::make_unique<SendBuf>(&shared->exec_to_cc, exec_id,
+                                          shared->send_stage,
+                                          shared->adaptive_flush);
+    }
     tcbs_.resize(max_inflight);
     for (int i = 0; i < max_inflight; ++i) {
       tcbs_[i] = std::make_unique<Tcb>();
@@ -661,48 +836,126 @@ class ExecThread {
   // end (gate, pull, plan, stamp) and replanning are the shared runtime's;
   // only the in-flight window and the grant/ack event loop are ORTHRUS's
   // own. Runs with the worker's clock already begun (WorkerPool::Spawn).
+  //
+  // Elastic lifecycle: the thread registers as a mesh sender up front and
+  // stays registered while active. When the controller's target drops
+  // below this thread's index it stops admitting, drains its in-flight
+  // window to empty, flushes every staged line, retires from the mesh, and
+  // parks on the gate; resume re-registers and re-opens admission. The
+  // drain-to-empty ordering is what guarantees no message is ever lost or
+  // stranded across a reallocation epoch.
   void Main() {
+    if (shared_->elastic) shared_->exec_to_cc_multi.RegisterSender();
     hal::IdleBackoff idle(256);
     while (true) {
       bool progress = PollGrants();
-      progress |= IssueNew();
+      if (!shared_->elastic || shared_->exec_gate.Active(exec_id_)) {
+        progress |= IssueNew();
+      }
       // End of the scheduling quantum: acquires and releases staged while
       // polling/issuing go out before we either loop or idle.
-      out_cc_.FlushAll();
+      FlushOut();
+      if (shared_->elastic) PublishStatsIfChanged();
       if (progress) {
         idle.Reset();
         continue;
       }
       if (Stopping() && inflight_ == 0) break;
+      if (shared_->elastic && inflight_ == 0 &&
+          !shared_->exec_gate.Active(exec_id_)) {
+        ParkUntilResumedOrStopping();
+        idle.Reset();
+        continue;
+      }
       const hal::Cycles t0 = hal::Now();
       idle.Idle();
       stats_->Add(TimeCategory::kWaiting, hal::Now() - t0);
     }
-    ORTHRUS_CHECK_MSG(out_cc_.Pending() == 0,
+    ORTHRUS_CHECK_MSG(OutPending() == 0,
                       "exec exiting with staged messages");
+    if (shared_->elastic) {
+      worker_->PublishEpochStats();
+      shared_->exec_to_cc_multi.RetireSender();
+    }
     shared_->execs_done.fetch_add(1);
   }
 
  private:
   bool Stopping() const { return !admission_.Open(); }
 
+  // --- exec->CC send path (static SPSC or elastic MPSC) ----------------
+
+  void SendCc(int cc, std::uint64_t w) {
+    if (out_cc_multi_ != nullptr) {
+      out_cc_multi_->Send(cc, w);
+    } else {
+      out_cc_->Send(cc, w);
+    }
+  }
+
+  void FlushOut() {
+    if (out_cc_multi_ != nullptr) {
+      out_cc_multi_->FlushAll();
+    } else {
+      out_cc_->FlushAll();
+    }
+  }
+
+  std::size_t OutPending() const {
+    return out_cc_multi_ != nullptr ? out_cc_multi_->Pending()
+                                    : out_cc_->Pending();
+  }
+
+  // --- elastic park / resume -------------------------------------------
+
+  // Mirror the commit counter for the controller when it moved (two
+  // modeled stores per change, nothing when idle).
+  void PublishStatsIfChanged() {
+    if (stats_->committed != last_published_committed_) {
+      last_published_committed_ = stats_->committed;
+      worker_->PublishEpochStats();
+    }
+  }
+
+  void ParkUntilResumedOrStopping() {
+    // Drain-to-empty before retiring: the quantum flush above emptied the
+    // staging arrays, and inflight_ == 0 means no grant, ack, or release
+    // involving this thread is outstanding anywhere in the mesh.
+    ORTHRUS_CHECK_MSG(OutPending() == 0,
+                      "exec parking with staged messages");
+    worker_->PublishEpochStats();
+    shared_->exec_to_cc_multi.RetireSender();
+    const hal::Cycles parked =
+        shared_->exec_gate.Park(exec_id_, [this] { return Stopping(); });
+    stats_->Add(TimeCategory::kWaiting, parked);
+    shared_->exec_to_cc_multi.RegisterSender();
+  }
+
   bool PollGrants() {
     const std::size_t n = shared_->cc_to_exec.Drain(
         exec_id_,
         [this](std::uint64_t w) {
-          Tcb* tcb = DecodeTcb(w);
           switch (DecodeTag(w)) {
             case kGrant:
-              Execute(tcb);
+              Execute(DecodeTcb(w));
               break;
-            case kStageDone:
+            case kGrantCombined:
+              // Packed slot ids: every listed in-flight window slot has
+              // its full lock set granted.
+              for (int i = 0; i < DecodeCombinedCount(w); ++i) {
+                Execute(tcbs_[DecodeCombinedSlot(w, i)].get());
+              }
+              break;
+            case kStageDone: {
               // Non-forwarding mode: we mediate the next hop ourselves.
+              Tcb* tcb = DecodeTcb(w);
               tcb->cur_stage++;
               ORTHRUS_DCHECK(tcb->cur_stage < tcb->n_stages);
               SendAcquire(tcb, tcb->stages[tcb->cur_stage].cc);
               break;
+            }
             case kAck:
-              OnAck(tcb);
+              OnAck(DecodeTcb(w));
               break;
             default:
               ORTHRUS_CHECK_MSG(false, "unexpected message at exec thread");
@@ -777,7 +1030,7 @@ class ExecThread {
   }
 
   void SendAcquire(Tcb* tcb, int cc) {
-    out_cc_.Send(cc, Encode(tcb, kAcquire));
+    SendCc(cc, Encode(tcb, kAcquire));
     stats_->messages_sent++;
   }
 
@@ -801,12 +1054,12 @@ class ExecThread {
     t0 = hal::Now();
     if (shared_->shared_cc != nullptr) {
       tcb->pending_acks = 1;
-      out_cc_.Send(tcb->home_cc, Encode(tcb, kRelease));
+      SendCc(tcb->home_cc, Encode(tcb, kRelease));
       stats_->messages_sent++;
     } else {
       tcb->pending_acks = tcb->n_stages;
       for (int s = 0; s < tcb->n_stages; ++s) {
-        out_cc_.Send(tcb->stages[s].cc, Encode(tcb, kRelease));
+        SendCc(tcb->stages[s].cc, Encode(tcb, kRelease));
         stats_->messages_sent++;
       }
     }
@@ -836,16 +1089,20 @@ class ExecThread {
   int exec_id_;
   Shared* shared_;
   storage::Database* db_;
+  runtime::WorkerContext* worker_;
   WorkerStats* stats_;
   int max_inflight_;
   std::unique_ptr<workload::TxnSource> source_;
   runtime::TxnAdmission admission_;
   // Outgoing staging buffer toward the CC threads; flushed at the end of
-  // every scheduling quantum in Main.
-  SendBuf out_cc_;
+  // every scheduling quantum in Main. Exactly one is non-null: the
+  // per-pair SPSC buffer (static roles) or the MPSC buffer (elastic).
+  std::unique_ptr<SendBuf> out_cc_;
+  std::unique_ptr<MultiSendBuf> out_cc_multi_;
   std::vector<std::unique_ptr<Tcb>> tcbs_;
   std::vector<int> free_slots_;
   int inflight_ = 0;
+  std::uint64_t last_published_committed_ = 0;
   std::uint64_t rr_counter_ = 0;  // shared-CC home assignment
 };
 
@@ -856,6 +1113,18 @@ OrthrusEngine::OrthrusEngine(EngineOptions options, OrthrusOptions orthrus)
   ORTHRUS_CHECK(orthrus_.num_cc >= 1);
   ORTHRUS_CHECK(options_.num_cores > orthrus_.num_cc);
   ORTHRUS_CHECK(orthrus_.max_inflight >= 1);
+  if (orthrus_.combined_grants) {
+    // Combined grants address in-flight window slots with one byte each.
+    ORTHRUS_CHECK_MSG(orthrus_.max_inflight <= 256,
+                      "combined_grants needs max_inflight <= 256");
+  }
+  if (orthrus_.elastic) {
+    ORTHRUS_CHECK(orthrus_.elastic_min_exec >= 1);
+    ORTHRUS_CHECK(orthrus_.elastic_min_exec <=
+                  options_.num_cores - orthrus_.num_cc);
+    ORTHRUS_CHECK(orthrus_.elastic_epoch_seconds > 0);
+    ORTHRUS_CHECK(orthrus_.elastic_step >= 1);
+  }
 }
 
 std::string OrthrusEngine::name() const {
@@ -864,7 +1133,10 @@ std::string OrthrusEngine::name() const {
   if (!orthrus_.batched_mp) n += "-nobatch";
   if (!orthrus_.coalesced_send) n += "-nocoalesce";
   if (orthrus_.adaptive_drain) n += "-adaptive";
+  if (orthrus_.adaptive_flush) n += "-aflush";
+  if (orthrus_.combined_grants) n += "-cgrant";
   if (orthrus_.shared_cc_table) n += "-sharedcc";
+  if (orthrus_.elastic) n += "-elastic";
   return n;
 }
 
@@ -882,6 +1154,9 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   shared.n_cc = n_cc;
   shared.n_exec = n_exec;
   shared.forwarding = orthrus_.forwarding;
+  shared.combined_grants = orthrus_.combined_grants;
+  shared.adaptive_flush = orthrus_.adaptive_flush;
+  shared.elastic = orthrus_.elastic;
   shared.cc_op_cycles = orthrus_.cc_op_cycles;
   if (orthrus_.shared_cc_table) {
     shared.shared_cc =
@@ -895,7 +1170,23 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   const std::size_t fq_cap =
       NextPowerOfTwo(2 * inflight * static_cast<std::size_t>(n_exec) + 4);
   const std::size_t gq_cap = NextPowerOfTwo(2 * inflight + 4);
-  shared.exec_to_cc.Reset(n_exec, n_cc, aq_cap);
+  if (orthrus_.elastic) {
+    // Shard the dynamic mesh so exec senders do not all serialize on one
+    // reservation index per CC thread. Auto: one shard per sender up to 8
+    // — measured on the hot64 sweep, contention falls off fastest up to 8
+    // shards and extra shards past that only add drain polls.
+    const int shards = orthrus_.elastic_shards > 0
+                           ? orthrus_.elastic_shards
+                           : std::min(n_exec, 8);
+    // A shard's ring is shared by the senders hashing onto it, so its
+    // bound is the static per-pair bound times that population.
+    const std::size_t senders_per_shard =
+        static_cast<std::size_t>((n_exec + shards - 1) / shards);
+    shared.exec_to_cc_multi.Reset(
+        n_cc, NextPowerOfTwo(2 * inflight * senders_per_shard + 4), shards);
+  } else {
+    shared.exec_to_cc.Reset(n_exec, n_cc, aq_cap);
+  }
   shared.cc_to_cc.Reset(n_cc, n_cc, fq_cap);
   shared.cc_to_exec.Reset(n_cc, n_exec, gq_cap);
   if (!orthrus_.batched_mp) shared.drain_batch = 1;
@@ -908,8 +1199,40 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
 
   runtime::WorkerPool pool(platform, options_.num_cores,
                            options_.duration_seconds, options_.rng_seed);
+  for (int c = 0; c < n_cc; ++c) {
+    pool.AssignRole(c, runtime::WorkerRole::kCc);
+  }
+  for (int e = 0; e < n_exec; ++e) {
+    pool.AssignRole(n_cc + e, runtime::WorkerRole::kExec);
+  }
   const runtime::DriverOptions dopts =
       MakeDriverOptions(options_, /*charge_admission=*/true);
+
+  // Elastic controller: CC thread 0 runs the reallocation epochs against
+  // the exec threads' published commit counters. Constructed only in
+  // elastic mode — its config CHECKs must not judge elastic_* knobs that
+  // a non-elastic run never uses.
+  std::unique_ptr<ElasticController> controller;
+  hal::Cycles epoch_cycles = 0;
+  if (orthrus_.elastic) {
+    ElasticController::Config ec;
+    ec.min_active = orthrus_.elastic_min_exec;
+    ec.max_active = n_exec;
+    ec.initial = orthrus_.elastic_initial_exec > 0
+                     ? orthrus_.elastic_initial_exec
+                     : n_exec;
+    ec.step = orthrus_.elastic_step;
+    ec.tolerance = orthrus_.elastic_tolerance;
+    controller = std::make_unique<ElasticController>(ec);
+    shared.exec_gate.SetTarget(controller->target());
+    shared.exec_ctxs.reserve(static_cast<std::size_t>(n_exec));
+    for (int e = 0; e < n_exec; ++e) {
+      shared.exec_ctxs.push_back(&pool.worker(n_cc + e));
+    }
+    epoch_cycles = static_cast<hal::Cycles>(orthrus_.elastic_epoch_seconds *
+                                            platform->CyclesPerSecond());
+    ORTHRUS_CHECK(epoch_cycles > 0);
+  }
 
   // CC lock tables start small and grow (address-stable) as each partition's
   // key footprint materializes.
@@ -919,7 +1242,8 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   std::vector<std::unique_ptr<ExecThread>> exec_threads;
   for (int c = 0; c < n_cc; ++c) {
     cc_threads.push_back(std::make_unique<CcThread>(
-        c, &shared, &pool.worker(c).stats, cc_lock_slots));
+        c, &shared, &pool.worker(c).stats, cc_lock_slots,
+        c == 0 ? controller.get() : nullptr, epoch_cycles));
   }
   for (int e = 0; e < n_exec; ++e) {
     exec_threads.push_back(std::make_unique<ExecThread>(
@@ -938,10 +1262,21 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
 
   pool.RunWorkers();
 
-  // Consistency: every queue fully drained.
+  // Consistency: every queue fully drained, every elastic sender retired.
   ORTHRUS_CHECK(shared.exec_to_cc.SizeRawTotal() == 0);
+  ORTHRUS_CHECK(shared.exec_to_cc_multi.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.cc_to_cc.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.cc_to_exec.SizeRawTotal() == 0);
+  ORTHRUS_CHECK(shared.exec_to_cc_multi.ActiveSendersRaw() == 0);
+
+  reallocations_ = shared.reallocations.RawLoad();
+  final_exec_target_ = controller != nullptr ? controller->target() : n_exec;
+  // The controller's hold EWMA is in commits per cycle (rate-normalized
+  // epoch samples); scale to commits per second for reporting.
+  steady_state_throughput_ = controller != nullptr
+                                 ? controller->hold_throughput() *
+                                       platform->CyclesPerSecond()
+                                 : 0.0;
 
   return pool.Finalize();
 }

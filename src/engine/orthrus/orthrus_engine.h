@@ -57,8 +57,65 @@ struct OrthrusOptions {
   // the snapshot is measurably imbalanced (max >= kImbalanceRatio * mean);
   // balanced snapshots keep the fixed sender order. Deterministic, but a
   // different event order than the fixed round-robin the equivalence
-  // digests are pinned to, so it is opt-in.
+  // digests are pinned to, so it is opt-in. Applies to the SPSC meshes
+  // only: in elastic mode the exec->CC path is MPSC (messages inside a
+  // shard already arrive in global order, so there is no per-sender
+  // queue depth to rank) and drains in fixed shard order.
   bool adaptive_drain = false;
+
+  // Adaptive send-flush thresholds (mp::SendBuffer's adaptive_flush):
+  // size each (sender, receiver) pair's flush boundary from the measured
+  // per-quantum burst depth instead of always staging a full payload
+  // line. Cuts the up-to-a-quantum grant latency that quantum-end-only
+  // flushing costs at shallow bursts, while deep bursts keep the
+  // one-publication-per-line amortization. Changes flush timing, hence
+  // event order, so it is opt-in like adaptive_drain.
+  bool adaptive_flush = false;
+
+  // CC->exec grant combining: instead of one word per grant, a CC thread
+  // stages the grants produced during one scheduling quantum per exec
+  // thread and packs up to 7 of them (as in-flight-window slot ids) into a
+  // single message word flushed at quantum end. Fewer words on the
+  // grant-heavy CC->exec path at the price of up to a quantum of added
+  // grant latency — an ablation flag, measured in ablation_batching.
+  // Requires max_inflight <= 256 (slot ids must fit one byte).
+  bool combined_grants = false;
+
+  // Elastic thread roles: make the CC/exec split a *runtime* property.
+  // All (num_cores - num_cc) exec threads are spawned, but only a
+  // controller-chosen prefix is active; the rest park (runtime::ParkGate)
+  // between scheduling quanta. A closed-loop hill climber
+  // (engine::ElasticController, run by CC thread 0) reads live per-epoch
+  // commit counts and grows or shrinks the active set each epoch. The CC
+  // thread count stays fixed — CC threads own lock-space partitions, which
+  // cannot be re-sharded in flight. exec->CC traffic moves from the static
+  // per-pair QueueMesh onto the dynamic-sender mp::MultiMesh, with the
+  // sender register/retire drain-to-empty protocol at every park/resume.
+  // Off by default: with elastic=false the engine runs the exact static
+  // mesh path (byte-identical digests and sim clocks).
+  bool elastic = false;
+
+  // Floor for the active exec-thread count (elastic mode).
+  int elastic_min_exec = 1;
+
+  // Controller epoch length in (virtual or wall) seconds: how often the
+  // reallocation decision runs.
+  double elastic_epoch_seconds = 0.0002;
+
+  // Active exec threads at start; 0 = all spawned exec threads.
+  int elastic_initial_exec = 0;
+
+  // Exec threads moved per controller decision.
+  int elastic_step = 1;
+
+  // Shards per CC receiver in the dynamic exec->CC mesh; 0 = auto (one
+  // shard per exec sender, capped at 8). More shards cut the
+  // reservation-CAS and tail-publication contention among exec senders at
+  // the cost of more queues for each CC thread to drain.
+  int elastic_shards = 0;
+
+  // Relative per-epoch throughput change treated as a plateau.
+  double elastic_tolerance = 0.05;
 
   // Use physically partitioned indexes (SPLIT ORTHRUS, Section 4.3). The
   // database must then be loaded with num_table_partitions == num_cc.
@@ -95,9 +152,22 @@ class OrthrusEngine final : public Engine {
   // Worker-id layout inside RunResult::per_worker: CC threads first.
   bool IsCcWorker(int worker_id) const { return worker_id < orthrus_.num_cc; }
 
+  // Elastic-mode observability for the run that Run() last completed:
+  // epochs whose controller decision changed the active exec target, the
+  // target in force when the run ended, and the controller's steady-state
+  // (hold-phase EWMA) throughput in commits/second — the converged rate
+  // with the probing epochs excluded. Zero / num_exec() / 0.0 when the
+  // engine ran with elastic=false.
+  std::uint64_t reallocations() const { return reallocations_; }
+  int final_exec_target() const { return final_exec_target_; }
+  double steady_state_throughput() const { return steady_state_throughput_; }
+
  private:
   EngineOptions options_;
   OrthrusOptions orthrus_;
+  std::uint64_t reallocations_ = 0;
+  int final_exec_target_ = 0;
+  double steady_state_throughput_ = 0.0;
 };
 
 }  // namespace orthrus::engine

@@ -2,79 +2,58 @@
 
 #include <vector>
 
+#include "runtime/locking_strategy.h"
+
 namespace orthrus::engine {
 namespace {
 
 // One attempt of conventional dynamic 2PL: acquire each lock at the
-// access's turn (deadlock handling per the configured policy), do that
-// access's share of the work while holding it, then run the procedure's
-// memory effects with all locks held.
-class TwoPlStrategy final : public runtime::ExecutionStrategy {
+// access's turn, do that access's share of the work while holding it, then
+// run the procedure's memory effects with all locks held. The acquire /
+// policy-wait / abort plumbing lives in runtime::LockingStrategy; this
+// class only decides the interleaving.
+class TwoPlStrategy final : public runtime::LockingStrategy {
  public:
   TwoPlStrategy(lock::LockTable* lock_table, lock::WorkerLockCtx* ctx,
                 lock::DeadlockPolicy* policy, storage::Database* db,
                 WorkerStats* st)
-      : lock_table_(lock_table), ctx_(ctx), policy_(policy), db_(db),
-        st_(st) {}
+      : LockingStrategy(lock_table, ctx, policy, st), db_(db) {}
 
   runtime::TxnOutcome TryExecute(txn::Txn* t) override {
-    ctx_->txn_timestamp = t->timestamp;
+    BeginLockedAttempt(*t);
     bool aborted = false;
 
     for (std::size_t i = 0; i < t->accesses.size(); ++i) {
       txn::Access& a = t->accesses[i];
-      hal::Cycles t0 = hal::Now();
-      lock::LockTable::AcquireResult r =
-          lock_table_->Acquire(ctx_, a.table, a.key, a.mode, policy_);
-      if (r == lock::LockTable::AcquireResult::kWaiting) {
-        st_->Add(TimeCategory::kLocking, hal::Now() - t0);
-        if (!lock_table_->Wait(ctx_, policy_)) {
-          aborted = true;
-          break;
-        }
-        t0 = hal::Now();
-      } else if (r == lock::LockTable::AcquireResult::kDie) {
-        st_->Add(TimeCategory::kLocking, hal::Now() - t0);
+      if (!AcquireOrAbort(a)) {
         aborted = true;
         break;
       }
-      st_->Add(TimeCategory::kLocking, hal::Now() - t0);
-
-      t0 = hal::Now();
+      const hal::Cycles t0 = hal::Now();
       ResolveRow(db_, &a);
       hal::ConsumeCycles(t->logic->OpCost(t, i, db_));
-      st_->Add(TimeCategory::kExecution, hal::Now() - t0);
+      stats()->Add(TimeCategory::kExecution, hal::Now() - t0);
     }
 
     if (aborted) {
-      Release();
+      ReleaseAllLocks();
       return runtime::TxnOutcome::kAbort;
     }
 
     // All locks held, per-access work charged: apply the procedure's real
     // memory effects without double-charging cycles.
-    hal::Cycles t0 = hal::Now();
-    txn::ExecContext ec{db_, st_, /*charge_cycles=*/false};
+    const hal::Cycles t0 = hal::Now();
+    txn::ExecContext ec{db_, stats(), /*charge_cycles=*/false};
     const bool ok = t->logic->Run(t, ec);
-    st_->Add(TimeCategory::kExecution, hal::Now() - t0);
+    stats()->Add(TimeCategory::kExecution, hal::Now() - t0);
 
-    Release();
+    ReleaseAllLocks();
     return ok ? runtime::TxnOutcome::kCommitted
               : runtime::TxnOutcome::kMismatch;
   }
 
  private:
-  void Release() {
-    const hal::Cycles t0 = hal::Now();
-    lock_table_->ReleaseAll(ctx_);
-    st_->Add(TimeCategory::kLocking, hal::Now() - t0);
-  }
-
-  lock::LockTable* lock_table_;
-  lock::WorkerLockCtx* ctx_;
-  lock::DeadlockPolicy* policy_;
   storage::Database* db_;
-  WorkerStats* st_;
 };
 
 }  // namespace

@@ -105,17 +105,35 @@ class LineRing {
 // outstanding messages per pair, so a full queue that stays full is a
 // protocol bug, not backpressure: the spin CHECK-fails once the wait has
 // outlived any legal protocol state. Shared by QueueMesh::Send,
-// MultiMesh::Send, and SendBuffer::Flush so the diagnostic and its bound
-// live in one place.
+// MultiMesh::Send, and the SendBuffer flushes so the diagnostic and its
+// bound live in one place.
+//
+// The tight bound is sound only under the simulator, where fibers are
+// never preempted. On native hardware the OS can park a consumer (or an
+// MPSC producer that reserved slots but has not yet published the tail,
+// keeping the ring apparently full) across many scheduling quanta — the
+// same reasoning behind MpscQueue::PushBatch's unbounded native
+// tail-publication wait — so the native bound is ~2^6 times looser:
+// seconds of continuous spinning, beyond any plausible preemption stall,
+// while still turning a genuine protocol wedge into a crisp CHECK
+// failure instead of a silent CI-timeout hang.
 class WedgeSpin {
  public:
+  WedgeSpin() {
+    hal::CoreContext* core = hal::CurrentCore();
+    const bool simulated =
+        core != nullptr && core->platform->is_simulated();
+    bound_ = simulated ? (1ull << 26) : (1ull << 32);
+  }
+
   void Pause() {
     hal::CpuRelax();
-    ORTHRUS_CHECK_MSG(++spins_ < (1ull << 26),
+    ORTHRUS_CHECK_MSG(++spins_ < bound_,
                       "message queue wedged: capacity bound violated");
   }
 
  private:
+  std::uint64_t bound_ = 1ull << 26;
   std::uint64_t spins_ = 0;
 };
 

@@ -12,6 +12,31 @@
 // arrive in its send order — a single producer's reservations are
 // ordered). Drain keeps the batched shape of QueueMesh::Drain: up to
 // `max_batch` messages per head publication, clamped to one payload line.
+//
+// Sharding: with one ring per receiver, every producer contends on the
+// same reservation CAS, publishes its tail through one global
+// reservation-order chain, and interleaves its payload words into lines
+// other producers are writing — at tens of senders the serialization
+// chain, not the queue work, dominates. A mesh built with `shards` > 1
+// gives each receiver that many independent rings; senders hash (shard
+// hint modulo shards) onto one, cutting every contended structure by the
+// shard factor, and receivers drain shards in fixed order. Per-SENDER
+// FIFO still holds (a sender's messages stay in one shard); global
+// arrival order across shards does not, which callers already could not
+// assume across senders. A sender that retires and later re-registers may
+// land on a different shard, so cross-registration FIFO requires the
+// retire protocol below (drain-to-empty makes the point moot: nothing of
+// the sender's outlives its registration).
+//
+// Sender lifecycle: senders are anonymous to the queues, but an elastic
+// engine needs to reason about the population ("have all current senders
+// retired?", teardown assertions), so the mesh keeps an active-sender
+// count behind RegisterSender/RetireSender. The retire contract is the
+// drain-to-empty epoch protocol: before calling RetireSender a sender
+// must have flushed every staged line it owns (MultiSendBuffer::Pending()
+// == 0) and have no outstanding request that could generate a reply to
+// it. Registration is cheap (one modeled RMW), so a parked sender
+// re-registers on resume rather than holding its slot while idle.
 #ifndef ORTHRUS_MP_MULTI_MESH_H_
 #define ORTHRUS_MP_MULTI_MESH_H_
 
@@ -32,42 +57,56 @@ class MultiMesh {
 
   MultiMesh() = default;
 
-  MultiMesh(int receivers, std::size_t capacity) { Reset(receivers, capacity); }
+  MultiMesh(int receivers, std::size_t capacity, int shards = 1) {
+    Reset(receivers, capacity, shards);
+  }
 
   MultiMesh(const MultiMesh&) = delete;
   MultiMesh& operator=(const MultiMesh&) = delete;
 
   // (Re)builds the per-receiver queues. `capacity` is the caller's provable
-  // bound on outstanding messages addressed to one receiver — across all
-  // senders, since they share the ring.
-  void Reset(int receivers, std::size_t capacity) {
+  // bound on outstanding messages addressed to one receiver *per shard* —
+  // across the senders that hash onto that shard, since they share its
+  // ring. `shards` rings per receiver (see the sharding note above).
+  void Reset(int receivers, std::size_t capacity, int shards = 1) {
     ORTHRUS_CHECK(receivers >= 1);
+    ORTHRUS_CHECK(shards >= 1);
+    active_senders_.RawStore(0);
+    registrations_total_.RawStore(0);
+    shards_ = shards;
     queues_.clear();
-    queues_.reserve(static_cast<std::size_t>(receivers));
-    for (int r = 0; r < receivers; ++r) {
+    queues_.reserve(static_cast<std::size_t>(receivers) * shards);
+    for (int i = 0; i < receivers * shards; ++i) {
       queues_.push_back(std::make_unique<MpscQueue<T>>(capacity));
     }
   }
 
-  int receivers() const { return static_cast<int>(queues_.size()); }
+  int receivers() const {
+    return static_cast<int>(queues_.size()) / shards_;
+  }
+  int shards() const { return shards_; }
 
-  MpscQueue<T>& at(int receiver) {
+  MpscQueue<T>& at(int receiver, int shard = 0) {
     ORTHRUS_DCHECK(receiver >= 0 && receiver < receivers());
-    return *queues_[static_cast<std::size_t>(receiver)];
+    ORTHRUS_DCHECK(shard >= 0 && shard < shards_);
+    return *queues_[static_cast<std::size_t>(receiver) * shards_ + shard];
   }
 
   // Blocking send from any thread. Spins (politely) while full;
   // CHECK-fails if the queue stays full long enough that the capacity
-  // bound must have been violated.
-  void Send(int receiver, T value) {
-    MpscQueue<T>& q = at(receiver);
+  // bound must have been violated. `shard_hint` is reduced modulo the
+  // shard count; a sender must use one hint for its whole registration so
+  // its own messages stay FIFO.
+  void Send(int receiver, T value, int shard_hint = 0) {
+    MpscQueue<T>& q = at(receiver, shard_hint % shards_);
     detail::WedgeSpin spin;
     while (!q.TryEnqueue(value)) spin.Pause();
   }
 
-  // Drains the receiver's queue, invoking fn(message) on each message in
-  // arrival order. Pops in batches of up to `max_batch` (clamped to
-  // [1, one payload line]). Returns messages delivered.
+  // Drains the receiver's queues (all shards, fixed shard order), invoking
+  // fn(message) on each message in per-shard arrival order. Pops in
+  // batches of up to `max_batch` (clamped to [1, one payload line]).
+  // Returns messages delivered.
   template <typename Fn>
   std::size_t Drain(int receiver, Fn&& fn,
                     std::size_t max_batch = kDefaultBatch) {
@@ -77,13 +116,49 @@ class MultiMesh {
                                 // loops until progress
     T buf[kDefaultBatch];
     std::size_t delivered = 0;
-    MpscQueue<T>& q = at(receiver);
-    std::size_t n;
-    while ((n = q.PopBatch(buf, batch)) != 0) {
-      for (std::size_t i = 0; i < n; ++i) fn(buf[i]);
-      delivered += n;
+    for (int s = 0; s < shards_; ++s) {
+      MpscQueue<T>& q = at(receiver, s);
+      std::size_t n;
+      while ((n = q.PopBatch(buf, batch)) != 0) {
+        for (std::size_t i = 0; i < n; ++i) fn(buf[i]);
+        delivered += n;
+      }
     }
     return delivered;
+  }
+
+  // --- sender lifecycle -------------------------------------------------
+  //
+  // A thread that will send into the mesh registers first; when it parks
+  // or exits it retires. Retiring requires the drain-to-empty protocol:
+  // the caller must have flushed all staged lines (its MultiSendBuffer is
+  // empty) before the RetireSender call, so a retired sender can never
+  // strand messages invisible to receivers.
+
+  // Joins the active sender population. Returns the population size
+  // including this sender.
+  int RegisterSender() {
+    registrations_total_.fetch_add(1);
+    return static_cast<int>(active_senders_.fetch_add(1)) + 1;
+  }
+
+  // Leaves the active sender population. Everything this sender staged
+  // must already be flushed into the queues.
+  void RetireSender() {
+    const std::uint64_t prev =
+        active_senders_.fetch_add(static_cast<std::uint64_t>(-1));
+    ORTHRUS_CHECK_MSG(prev > 0, "RetireSender without a matching register");
+  }
+
+  // Modeled view of the current population (any thread).
+  int ActiveSenders() { return static_cast<int>(active_senders_.load()); }
+
+  // Unmodeled views for teardown assertions and tests.
+  int ActiveSendersRaw() const {
+    return static_cast<int>(active_senders_.RawLoad());
+  }
+  std::uint64_t RegistrationsTotalRaw() const {
+    return registrations_total_.RawLoad();
   }
 
   // Unmodeled aggregate occupancy, for teardown assertions.
@@ -94,7 +169,10 @@ class MultiMesh {
   }
 
  private:
+  int shards_ = 1;
   std::vector<std::unique_ptr<MpscQueue<T>>> queues_;
+  hal::Atomic<std::uint64_t> active_senders_{0};
+  hal::Atomic<std::uint64_t> registrations_total_{0};
 };
 
 }  // namespace orthrus::mp

@@ -17,11 +17,30 @@
 // each scheduling quantum so staged messages never outlive the sender's
 // attention — an unflushed grant is a stalled transaction.
 //
+// Flush boundaries can instead be sized from the measured burst depth
+// (`adaptive_flush`): when a sender's bursts toward a receiver run shallow
+// — the common case for grant/ack traffic at low fan-in — waiting for a
+// full line means every message sits staged until the quantum-end
+// FlushAll, paying up to a quantum of latency for amortization that never
+// materializes. Each (sender, receiver) pair keeps a BurstEstimator fed
+// with the messages staged per quantum and flushes once the stage reaches
+// the estimated burst depth; deep bursts grow the estimate back to the
+// full line within a few quanta, so steady line-sized traffic keeps the
+// one-publication-per-line behaviour exactly.
+//
 // Flush is blocking like QueueMesh::Send: queue capacities are provable
 // bounds on outstanding messages (staging does not increase them — a
 // staged message was "outstanding" the moment the protocol produced it),
 // so a partial PushBatch retries until the receiver makes room and a
 // queue that stays full is a protocol bug, not backpressure.
+//
+// MultiSendBuffer is the same staging layer over a MultiMesh: one staging
+// array per receiver, flushed with MpscQueue::PushBatch (one CAS + one
+// tail publication per flushed line instead of one per message). It is
+// what an elastic sender population stages through; see MultiMesh's
+// sender-lifecycle contract for the retire protocol. Both buffers share
+// one implementation (detail::SendStaging); a concrete buffer only
+// resolves which queue a receiver's stage flushes into.
 #ifndef ORTHRUS_MP_SEND_BUFFER_H_
 #define ORTHRUS_MP_SEND_BUFFER_H_
 
@@ -30,51 +49,78 @@
 
 #include "common/macros.h"
 #include "hal/hal.h"
+#include "mp/multi_mesh.h"
 #include "mp/queue_mesh.h"
 
 namespace orthrus::mp {
+namespace detail {
 
-template <typename T>
-class SendBuffer {
+// Integer EWMA of per-quantum burst depths toward one receiver, used to
+// size adaptive flush thresholds. Asymmetric rounding: estimates climb
+// (ceil) faster than they decay (floor), so a workload returning to deep
+// bursts recovers full-line staging in a few quanta while shallow phases
+// still pull the threshold down. Deterministic — pure integer state fed
+// only by observed counts.
+class BurstEstimator {
  public:
-  // Stage one payload line per pair by default: flushes then publish the
-  // tail once per line, matching the receive side's per-line pops.
-  static constexpr std::size_t kDefaultStage = SpscQueue<T>::kMsgsPerLine;
-
-  // `stage_capacity = 1` degrades to exactly QueueMesh::Send's per-message
-  // publication behaviour — the ablation baseline.
-  SendBuffer(QueueMesh<T>* mesh, int sender,
-             std::size_t stage_capacity = kDefaultStage)
-      : mesh_(mesh),
-        sender_(sender),
-        stage_(stage_capacity < 1 ? 1 : stage_capacity),
-        slots_(static_cast<std::size_t>(mesh->receivers()) * stage_),
-        counts_(static_cast<std::size_t>(mesh->receivers()), 0) {
-    ORTHRUS_CHECK(sender >= 0 && sender < mesh->senders());
+  // Feed the number of messages staged toward the receiver during one
+  // scheduling quantum (callers skip empty quanta).
+  void Observe(std::size_t burst_depth) {
+    ORTHRUS_DCHECK(burst_depth >= 1);
+    if (est_ == 0) {
+      est_ = burst_depth;
+    } else if (burst_depth > est_) {
+      est_ = (3 * est_ + burst_depth + 3) / 4;  // ceil: climb fast
+    } else {
+      est_ = (3 * est_ + burst_depth) / 4;  // floor: decay gradually
+    }
+    if (est_ < 1) est_ = 1;
   }
 
-  SendBuffer(const SendBuffer&) = delete;
-  SendBuffer& operator=(const SendBuffer&) = delete;
+  // Flush threshold in [1, cap]; before the first observation the full
+  // line (`cap`) is used, i.e. exactly the non-adaptive behaviour.
+  std::size_t Threshold(std::size_t cap) const {
+    if (est_ == 0 || est_ >= cap) return cap;
+    return est_;
+  }
 
-  int sender() const { return sender_; }
+  std::size_t estimate() const { return est_; }
+
+ private:
+  std::size_t est_ = 0;
+};
+
+// The shared staging engine behind SendBuffer and MultiSendBuffer: the
+// per-receiver staging matrix, flush thresholds (fixed or burst-adaptive),
+// quantum bookkeeping, and the message/publication counters. The derived
+// buffer contributes exactly one thing through CRTP: `queue(receiver)`,
+// the ring a receiver's stage flushes into.
+template <typename T, typename Derived>
+class SendStaging {
+ public:
   std::size_t stage_capacity() const { return stage_; }
+  bool adaptive_flush() const { return adaptive_; }
 
-  // Stages `value` for `receiver`; flushes the pair if its array is full.
+  // Stages `value` for `receiver`; flushes the pair once its stage reaches
+  // the flush threshold (the full stage, or the measured burst depth when
+  // adaptive).
   void Send(int receiver, T value) {
-    ORTHRUS_DCHECK(receiver >= 0 && receiver < mesh_->receivers());
-    std::size_t& n = counts_[static_cast<std::size_t>(receiver)];
-    slots_[static_cast<std::size_t>(receiver) * stage_ + n] = value;
+    ORTHRUS_DCHECK(receiver >= 0 && receiver < receivers_);
+    const std::size_t r = static_cast<std::size_t>(receiver);
+    std::size_t& n = counts_[r];
+    slots_[r * stage_ + n] = value;
     messages_++;
-    if (++n == stage_) Flush(receiver);
+    if (adaptive_) quantum_msgs_[r]++;
+    if (++n >= FlushThreshold(r)) Flush(receiver);
   }
 
-  // Pushes everything staged for `receiver` into the mesh queue, retrying
+  // Pushes everything staged for `receiver` into its queue, retrying
   // partial batches until the whole stage is enqueued.
   void Flush(int receiver) {
     std::size_t& n = counts_[static_cast<std::size_t>(receiver)];
     if (n == 0) return;
     const T* buf = &slots_[static_cast<std::size_t>(receiver) * stage_];
-    SpscQueue<T>& q = mesh_->at(sender_, receiver);
+    auto& q = static_cast<Derived*>(this)->queue(receiver);
     std::size_t pushed = 0;
     detail::WedgeSpin spin;
     while (pushed < n) {
@@ -90,9 +136,17 @@ class SendBuffer {
   }
 
   // Flushes every pair, in ascending receiver order (deterministic under
-  // the simulator). Call at the end of each scheduling quantum.
+  // the simulator). Call at the end of each scheduling quantum; this is
+  // also where the adaptive threshold observes the quantum's burst depths.
   void FlushAll() {
-    for (int r = 0; r < mesh_->receivers(); ++r) Flush(r);
+    for (int r = 0; r < receivers_; ++r) {
+      Flush(r);
+      if (adaptive_) {
+        const std::size_t i = static_cast<std::size_t>(r);
+        if (quantum_msgs_[i] != 0) bursts_[i].Observe(quantum_msgs_[i]);
+        quantum_msgs_[i] = 0;
+      }
+    }
   }
 
   // Messages staged but not yet flushed (all receivers).
@@ -110,16 +164,104 @@ class SendBuffer {
   // average messages per publication, vs. exactly 1 for unbuffered Send.
   std::uint64_t publications() const { return publications_; }
 
+  // Current flush threshold toward `receiver` (== stage_capacity() when
+  // not adaptive or before the first observation). Test observability.
+  std::size_t FlushThreshold(std::size_t receiver) const {
+    return adaptive_ ? bursts_[receiver].Threshold(stage_) : stage_;
+  }
+
+ protected:
+  SendStaging(int receivers, std::size_t stage_capacity, bool adaptive_flush)
+      : receivers_(receivers),
+        stage_(stage_capacity < 1 ? 1 : stage_capacity),
+        adaptive_(adaptive_flush),
+        slots_(static_cast<std::size_t>(receivers) * stage_),
+        counts_(static_cast<std::size_t>(receivers), 0),
+        // Quantum bookkeeping exists only when the adaptive threshold
+        // consumes it; the default path pays nothing for it.
+        quantum_msgs_(adaptive_flush ? static_cast<std::size_t>(receivers)
+                                     : 0),
+        bursts_(adaptive_flush ? static_cast<std::size_t>(receivers) : 0) {}
+
+  SendStaging(const SendStaging&) = delete;
+  SendStaging& operator=(const SendStaging&) = delete;
+
+ private:
+  const int receivers_;
+  const std::size_t stage_;
+  const bool adaptive_;
+  // Flat [receiver][stage_] staging matrix + per-receiver fill counts.
+  // Plain memory: exactly one thread owns a buffer.
+  std::vector<T> slots_;
+  std::vector<std::size_t> counts_;
+  // Messages staged per receiver in the current quantum (adaptive-flush
+  // burst measurement; reset by FlushAll). Empty when not adaptive.
+  std::vector<std::size_t> quantum_msgs_;
+  std::vector<BurstEstimator> bursts_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t publications_ = 0;
+};
+
+}  // namespace detail
+
+template <typename T>
+class SendBuffer final
+    : public detail::SendStaging<T, SendBuffer<T>> {
+ public:
+  // Stage one payload line per pair by default: flushes then publish the
+  // tail once per line, matching the receive side's per-line pops.
+  static constexpr std::size_t kDefaultStage = SpscQueue<T>::kMsgsPerLine;
+
+  // `stage_capacity = 1` degrades to exactly QueueMesh::Send's per-message
+  // publication behaviour — the ablation baseline. `adaptive_flush` sizes
+  // the per-receiver flush threshold from the measured burst depth instead
+  // of always staging a full line.
+  SendBuffer(QueueMesh<T>* mesh, int sender,
+             std::size_t stage_capacity = kDefaultStage,
+             bool adaptive_flush = false)
+      : detail::SendStaging<T, SendBuffer<T>>(mesh->receivers(),
+                                              stage_capacity, adaptive_flush),
+        mesh_(mesh),
+        sender_(sender) {
+    ORTHRUS_CHECK(sender >= 0 && sender < mesh->senders());
+  }
+
+  int sender() const { return sender_; }
+
+  SpscQueue<T>& queue(int receiver) { return mesh_->at(sender_, receiver); }
+
  private:
   QueueMesh<T>* mesh_;
   const int sender_;
-  const std::size_t stage_;
-  // Flat [receiver][stage_] staging matrix + per-receiver fill counts.
-  // Plain memory: exactly one thread owns a SendBuffer.
-  std::vector<T> slots_;
-  std::vector<std::size_t> counts_;
-  std::uint64_t messages_ = 0;
-  std::uint64_t publications_ = 0;
+};
+
+// Sender-side staging over a MultiMesh. Senders are anonymous; a thread
+// owns its buffer, and the MultiMesh retire protocol requires
+// Pending() == 0 before the owner retires. `shard_hint` picks which of
+// the mesh's per-receiver shards this sender flushes into (reduced modulo
+// the shard count); it must stay fixed for the buffer's lifetime so the
+// sender's own messages stay FIFO.
+template <typename T>
+class MultiSendBuffer final
+    : public detail::SendStaging<T, MultiSendBuffer<T>> {
+ public:
+  static constexpr std::size_t kDefaultStage = MpscQueue<T>::kMsgsPerLine;
+
+  explicit MultiSendBuffer(MultiMesh<T>* mesh, int shard_hint = 0,
+                           std::size_t stage_capacity = kDefaultStage,
+                           bool adaptive_flush = false)
+      : detail::SendStaging<T, MultiSendBuffer<T>>(
+            mesh->receivers(), stage_capacity, adaptive_flush),
+        mesh_(mesh),
+        shard_(shard_hint % mesh->shards()) {}
+
+  int shard() const { return shard_; }
+
+  MpscQueue<T>& queue(int receiver) { return mesh_->at(receiver, shard_); }
+
+ private:
+  MultiMesh<T>* mesh_;
+  const int shard_;
 };
 
 }  // namespace orthrus::mp

@@ -1,0 +1,39 @@
+#include "runtime/locking_strategy.h"
+
+namespace orthrus::runtime {
+
+bool LockingStrategy::AcquireOrAbort(const txn::Access& a) {
+  hal::Cycles t0 = hal::Now();
+  const lock::LockTable::AcquireResult r =
+      table_->Acquire(ctx_, a.table, a.key, a.mode, policy_);
+  if (r == lock::LockTable::AcquireResult::kWaiting) {
+    stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+    if (!table_->Wait(ctx_, policy_)) return false;
+    t0 = hal::Now();
+  } else if (r == lock::LockTable::AcquireResult::kDie) {
+    stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+    return false;
+  }
+  stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+  return true;
+}
+
+void LockingStrategy::AcquireOrdered(const txn::Access& a) {
+  const lock::LockTable::AcquireResult r =
+      table_->Acquire(ctx_, a.table, a.key, a.mode, policy_);
+  if (r == lock::LockTable::AcquireResult::kWaiting) {
+    const bool granted = table_->Wait(ctx_, policy_);
+    ORTHRUS_CHECK_MSG(granted, "FIFO wait cannot abort");
+  } else {
+    ORTHRUS_CHECK_MSG(r == lock::LockTable::AcquireResult::kGranted,
+                      "ordered acquisition cannot die");
+  }
+}
+
+void LockingStrategy::ReleaseAllLocks() {
+  const hal::Cycles t0 = hal::Now();
+  table_->ReleaseAll(ctx_);
+  stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+}
+
+}  // namespace orthrus::runtime

@@ -1,0 +1,67 @@
+// Shared transaction-runtime layer, part 3: lock-table strategy plumbing.
+//
+// The shared-everything engines (2PL, deadlock-free) are ExecutionStrategy
+// classes over lock::LockTable, and before this header each of them
+// re-implemented the acquire → enqueue → policy wait-loop → abort dance —
+// including the deadlock-policy plumbing that decides whether a blocked
+// request waits or dies. LockingStrategy hoists exactly that plumbing
+// behind the strategy interface: concrete strategies describe *when* locks
+// are taken and how execution work interleaves with them; the wait loop,
+// the DeadlockPolicy hand-off, the per-acquisition kLocking accounting,
+// and release-all live here, in one place.
+//
+// The accounting is deliberately bit-compatible with what the engines
+// always did (equivalence digests and sim clocks pin this): blocked time
+// is charged to kWaiting inside LockTable::Wait, AcquireOrAbort charges
+// the acquire/enqueue spans around it to kLocking, and AcquireOrdered
+// leaves accounting to the caller (the deadlock-free engine charges its
+// whole acquire phase as one span).
+#ifndef ORTHRUS_RUNTIME_LOCKING_STRATEGY_H_
+#define ORTHRUS_RUNTIME_LOCKING_STRATEGY_H_
+
+#include "lock/lock_table.h"
+#include "runtime/txn_driver.h"
+
+namespace orthrus::runtime {
+
+class LockingStrategy : public ExecutionStrategy {
+ protected:
+  // `policy` may be null (ordered acquisition needs no deadlock handling);
+  // it is shared across workers and not owned.
+  LockingStrategy(lock::LockTable* table, lock::WorkerLockCtx* ctx,
+                  lock::DeadlockPolicy* policy, WorkerStats* stats)
+      : table_(table), ctx_(ctx), policy_(policy), stats_(stats) {}
+
+  // Publishes the transaction's timestamp to the lock manager (wait-die's
+  // age; harmless otherwise). Call once per attempt, before any acquire.
+  void BeginLockedAttempt(const txn::Txn& t) {
+    ctx_->txn_timestamp = t.timestamp;
+  }
+
+  // One dynamic-2PL acquisition, policy wait loop included: requests the
+  // lock, and if queued behind a conflict runs the configured deadlock
+  // policy's wait. Returns false when the policy aborted the attempt (die
+  // at request time, or a detected deadlock during the wait); the caller
+  // must then release all held locks and report TxnOutcome::kAbort.
+  bool AcquireOrAbort(const txn::Access& a);
+
+  // Ordered-acquisition variant: FIFO wait that can never abort (deadlock
+  // freedom must be guaranteed by the caller's acquisition order). No
+  // stat accounting — the caller owns the timing span.
+  void AcquireOrdered(const txn::Access& a);
+
+  // Releases every lock held by the current attempt, charging kLocking.
+  void ReleaseAllLocks();
+
+  WorkerStats* stats() { return stats_; }
+
+ private:
+  lock::LockTable* table_;
+  lock::WorkerLockCtx* ctx_;
+  lock::DeadlockPolicy* policy_;
+  WorkerStats* stats_;
+};
+
+}  // namespace orthrus::runtime
+
+#endif  // ORTHRUS_RUNTIME_LOCKING_STRATEGY_H_

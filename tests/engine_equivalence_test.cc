@@ -137,20 +137,30 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
   }
   // ORTHRUS variants: every message-passing configuration (forwarding
   // on/off, batched delivery on/off, sender-side coalescing on/off,
-  // adaptive drain order, shared CC table) must agree with the
-  // shared-everything engines.
+  // adaptive drain order and flush thresholds, combined grants, shared CC
+  // table) must agree with the shared-everything engines. Every case runs
+  // with elastic=false (the OrthrusOptions default), so this whole list is
+  // the pin that the elastic-roles refactor left the static-mesh path
+  // producing the exact static-mesh digest; the separate clock-level pin
+  // is OrthrusRunsAreDeterministic plus the exact message-count tests in
+  // orthrus_engine_test.
   struct OrthrusCase {
     bool forwarding;
     bool batched_mp;
     bool shared_cc;
     bool adaptive_drain = false;
     bool coalesced_send = true;
+    bool adaptive_flush = false;
+    bool combined_grants = false;
   };
   for (const OrthrusCase& c :
        {OrthrusCase{true, true, false}, OrthrusCase{false, true, false},
         OrthrusCase{true, false, false}, OrthrusCase{true, true, true},
         OrthrusCase{true, true, false, /*adaptive_drain=*/true},
-        OrthrusCase{true, true, false, false, /*coalesced_send=*/false}}) {
+        OrthrusCase{true, true, false, false, /*coalesced_send=*/false},
+        OrthrusCase{true, true, false, false, true, /*adaptive_flush=*/true},
+        OrthrusCase{true, true, false, false, true, false,
+                    /*combined_grants=*/true}}) {
     engine::OrthrusOptions oo;
     oo.num_cc = kOrthrusCc;
     // One transaction in flight per exec thread: the commit cap is checked
@@ -161,6 +171,9 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     oo.shared_cc_table = c.shared_cc;
     oo.adaptive_drain = c.adaptive_drain;
     oo.coalesced_send = c.coalesced_send;
+    oo.adaptive_flush = c.adaptive_flush;
+    oo.combined_grants = c.combined_grants;
+    ORTHRUS_CHECK(!oo.elastic);  // the static-mesh digest pin
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
     outcomes.emplace_back(eng.name(),
                           RunOne(&eng, &orthrus_aligned,

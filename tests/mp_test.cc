@@ -836,6 +836,138 @@ TEST(MultiMesh, RoutesReceiversIndependently) {
   EXPECT_EQ(mesh.SizeRawTotal(), 0u);
 }
 
+TEST(MultiMesh, SenderRegisterRetireAccounting) {
+  MultiMesh<std::uint64_t> mesh(2, 16);
+  EXPECT_EQ(mesh.ActiveSendersRaw(), 0);
+  EXPECT_EQ(mesh.RegisterSender(), 1);
+  EXPECT_EQ(mesh.RegisterSender(), 2);
+  EXPECT_EQ(mesh.ActiveSendersRaw(), 2);
+  mesh.RetireSender();
+  EXPECT_EQ(mesh.ActiveSendersRaw(), 1);
+  // Re-registration after retire is the park/resume cycle.
+  EXPECT_EQ(mesh.RegisterSender(), 2);
+  mesh.RetireSender();
+  mesh.RetireSender();
+  EXPECT_EQ(mesh.ActiveSendersRaw(), 0);
+  EXPECT_EQ(mesh.RegistrationsTotalRaw(), 3u);
+  EXPECT_DEATH(mesh.RetireSender(), "CHECK");
+}
+
+// Register/retire churn mid-traffic on the deterministic simulator: three
+// producer cores cycle through register -> send (staged through a
+// MultiSendBuffer) -> flush-to-empty -> retire epochs while a consumer
+// drains. Nothing may be lost or duplicated, per-logical-sender FIFO must
+// hold, and the run must be bit-reproducible.
+TEST(MultiMesh, SimChurnRegisterRetireDeliversExactly) {
+  constexpr int kProducers = 3;
+  constexpr int kWaves = 4;
+  constexpr std::uint64_t kPer = 300;
+  const auto run = [] {
+    // Two shards for three producers: exercises the sharded fan-in path.
+    MultiMesh<std::uint64_t> mesh(1, 256, /*shards=*/2);
+    hal::SimPlatform sim(kProducers + 1);
+    for (int p = 0; p < kProducers; ++p) {
+      sim.Spawn(p, [&mesh, p] {
+        for (int w = 0; w < kWaves; ++w) {
+          mesh.RegisterSender();
+          MultiSendBuffer<std::uint64_t> sb(&mesh, /*shard_hint=*/p);
+          const std::uint64_t logical =
+              static_cast<std::uint64_t>(p) * kWaves + w;
+          for (std::uint64_t i = 0; i < kPer; ++i) {
+            sb.Send(0, (logical << 32) | i);
+            hal::ConsumeCycles(5 + 2 * static_cast<hal::Cycles>(p));
+          }
+          // Drain-to-empty before retiring: a retiring sender must never
+          // strand staged lines.
+          sb.FlushAll();
+          ORTHRUS_CHECK(sb.Pending() == 0);
+          mesh.RetireSender();
+        }
+      });
+    }
+    const std::uint64_t total = kProducers * kWaves * kPer;
+    std::uint64_t received = 0;
+    std::uint64_t order_digest = 14695981039346656037ull;
+    std::uint64_t next_from[kProducers * kWaves] = {};
+    bool ok = true;
+    sim.Spawn(kProducers, [&] {
+      while (received < total) {
+        const std::size_t n = mesh.Drain(0, [&](std::uint64_t v) {
+          const std::uint64_t logical = v >> 32;
+          if (logical >= kProducers * kWaves ||
+              (v & 0xFFFFFFFFull) != next_from[logical]) {
+            ok = false;
+          }
+          next_from[logical]++;
+          order_digest = (order_digest ^ v) * 1099511628211ull;
+        });
+        received += n;
+        if (n == 0) hal::CpuRelax();
+      }
+    });
+    sim.Run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(received, total);
+    EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+    EXPECT_EQ(mesh.ActiveSendersRaw(), 0);
+    EXPECT_EQ(mesh.RegistrationsTotalRaw(),
+              static_cast<std::uint64_t>(kProducers) * kWaves);
+    return order_digest;
+  };
+  const std::uint64_t a = run();
+  const std::uint64_t b = run();
+  EXPECT_EQ(a, b);  // deterministic arrival order under the simulator
+}
+
+// Same churn protocol under true concurrency: native threads register,
+// stage through MultiSendBuffer, flush to empty, retire, re-register.
+TEST(MultiMesh, NativeChurnRegisterRetireStress) {
+  constexpr int kThreads = 3;
+  constexpr int kWaves = 5;
+  constexpr std::uint64_t kPer = 8000;
+  MultiMesh<std::uint64_t> mesh(1, 256, /*shards=*/2);
+  hal::NativePlatform platform(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    platform.Spawn(t, [&mesh, t] {
+      for (int w = 0; w < kWaves; ++w) {
+        mesh.RegisterSender();
+        MultiSendBuffer<std::uint64_t> sb(&mesh, /*shard_hint=*/t);
+        const std::uint64_t logical =
+            static_cast<std::uint64_t>(t) * kWaves + w;
+        for (std::uint64_t i = 0; i < kPer; ++i) {
+          sb.Send(0, (logical << 32) | i);
+        }
+        sb.FlushAll();
+        ORTHRUS_CHECK(sb.Pending() == 0);
+        mesh.RetireSender();
+      }
+    });
+  }
+  const std::uint64_t total = kThreads * kWaves * kPer;
+  std::uint64_t received = 0;
+  std::uint64_t next_from[kThreads * kWaves] = {};
+  bool ok = true;
+  platform.Spawn(kThreads, [&] {
+    while (received < total) {
+      const std::size_t n = mesh.Drain(0, [&](std::uint64_t v) {
+        const std::uint64_t logical = v >> 32;
+        if (logical >= kThreads * kWaves ||
+            (v & 0xFFFFFFFFull) != next_from[logical]) {
+          ok = false;
+        }
+        next_from[logical]++;
+      });
+      received += n;
+      if (n == 0) hal::CpuRelax();
+    }
+  });
+  platform.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, total);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+  EXPECT_EQ(mesh.ActiveSendersRaw(), 0);
+}
+
 TEST(MultiMesh, NativeProducerChurnStress) {
   // The point of the MPSC mesh: logical senders come and go without any
   // mesh rebuild. Three threads each impersonate five successive logical
@@ -1018,6 +1150,156 @@ TEST(SendBuffer, NativeTwoSendersTwoReceiversStress) {
   EXPECT_TRUE(ok[0]);
   EXPECT_TRUE(ok[1]);
   EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+}
+
+// -------------------------------------------------------- MultiSendBuffer
+
+TEST(MultiSendBuffer, StagesAndCoalescesLikeSendBuffer) {
+  MultiMesh<std::uint64_t> mesh(2, 64);
+  MultiSendBuffer<std::uint64_t> sb(&mesh);
+  sb.Send(0, 1);
+  sb.Send(1, 2);
+  sb.Send(0, 3);
+  EXPECT_EQ(mesh.SizeRawTotal(), 0u);  // nothing visible until a flush
+  EXPECT_EQ(sb.Pending(), 3u);
+  sb.FlushAll();
+  EXPECT_EQ(sb.Pending(), 0u);
+  EXPECT_EQ(mesh.SizeRawTotal(), 3u);
+  std::vector<std::uint64_t> got0, got1;
+  mesh.Drain(0, [&](std::uint64_t v) { got0.push_back(v); });
+  mesh.Drain(1, [&](std::uint64_t v) { got1.push_back(v); });
+  EXPECT_EQ(got0, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(got1, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(sb.messages(), 3u);
+  EXPECT_EQ(sb.publications(), 2u);  // one per flushed receiver
+}
+
+TEST(MultiSendBuffer, AutoFlushesWhenStageFills) {
+  MultiMesh<std::uint64_t> mesh(1, 64);
+  MultiSendBuffer<std::uint64_t> sb(&mesh);
+  const std::size_t stage = sb.stage_capacity();
+  for (std::size_t i = 0; i < stage - 1; ++i) {
+    sb.Send(0, i);
+    EXPECT_EQ(mesh.SizeRawTotal(), 0u);
+  }
+  sb.Send(0, stage - 1);
+  EXPECT_EQ(mesh.SizeRawTotal(), stage);
+  EXPECT_EQ(sb.Pending(), 0u);
+  EXPECT_EQ(sb.publications(), 1u);
+}
+
+// ------------------------------------------- adaptive flush thresholds
+
+// The measured-burst-depth flush boundary: shallow per-quantum bursts pull
+// the threshold down to the observed depth, so messages stop waiting for
+// the quantum-end FlushAll; deep bursts grow it back to the full line.
+TEST(SendBuffer, AdaptiveFlushTracksBurstDepth) {
+  QueueMesh<std::uint64_t> mesh(1, 1, 256);
+  SendBuffer<std::uint64_t> sb(&mesh, 0, SendBuffer<std::uint64_t>::kDefaultStage,
+                               /*adaptive_flush=*/true);
+  const std::size_t line = sb.stage_capacity();
+  std::uint64_t sink = 0;
+  const auto drain = [&] { mesh.Drain(0, [&](std::uint64_t v) { sink += v; }); };
+
+  // Before any observation the threshold is the full line: a 2-message
+  // burst stays staged until FlushAll, exactly the non-adaptive behaviour.
+  sb.Send(0, 1);
+  sb.Send(0, 2);
+  EXPECT_EQ(sb.FlushThreshold(0), line);
+  EXPECT_EQ(sb.Pending(), 2u);
+  sb.FlushAll();
+  drain();
+
+  // Shallow 2-message quanta converge the threshold to 2 (the estimator's
+  // first observation IS the depth)...
+  EXPECT_EQ(sb.FlushThreshold(0), 2u);
+  // ...so the burst now flushes at depth 2 with no FlushAll needed.
+  sb.Send(0, 3);
+  EXPECT_EQ(sb.Pending(), 1u);
+  sb.Send(0, 4);
+  EXPECT_EQ(sb.Pending(), 0u);  // auto-flushed at the measured depth
+  sb.FlushAll();  // quantum end: observes depth 2 again
+  drain();
+  EXPECT_EQ(sb.FlushThreshold(0), 2u);
+
+  // Deep quanta (a full line each) grow the threshold back to the line
+  // within a few quanta — asymmetric rounding climbs faster than it decays.
+  for (int q = 0; q < 8 && sb.FlushThreshold(0) < line; ++q) {
+    for (std::size_t i = 0; i < line; ++i) {
+      sb.Send(0, 100 + i);
+    }
+    sb.FlushAll();
+    drain();
+  }
+  EXPECT_EQ(sb.FlushThreshold(0), line);
+  // Back at the full line, a partial burst stages again.
+  sb.Send(0, 5);
+  EXPECT_EQ(sb.Pending(), 1u);
+  sb.FlushAll();
+  drain();
+}
+
+TEST(SendBuffer, AdaptiveFlushOffIsByteIdentical) {
+  // adaptive_flush=false must behave exactly as before: full-line staging
+  // regardless of burst history.
+  QueueMesh<std::uint64_t> mesh(1, 1, 256);
+  SendBuffer<std::uint64_t> sb(&mesh, 0);
+  std::uint64_t sink = 0;
+  for (int q = 0; q < 4; ++q) {
+    sb.Send(0, 1);
+    sb.Send(0, 2);
+    EXPECT_EQ(sb.Pending(), 2u);  // never auto-flushes below a line
+    sb.FlushAll();
+    mesh.Drain(0, [&](std::uint64_t v) { sink += v; });
+  }
+  EXPECT_EQ(sb.FlushThreshold(0), sb.stage_capacity());
+}
+
+TEST(MultiSendBuffer, AdaptiveFlushTracksBurstDepth) {
+  MultiMesh<std::uint64_t> mesh(1, 256);
+  MultiSendBuffer<std::uint64_t> sb(
+      &mesh, /*shard_hint=*/0, MultiSendBuffer<std::uint64_t>::kDefaultStage,
+      /*adaptive_flush=*/true);
+  std::uint64_t sink = 0;
+  sb.Send(0, 1);
+  sb.Send(0, 2);
+  sb.FlushAll();
+  mesh.Drain(0, [&](std::uint64_t v) { sink += v; });
+  EXPECT_EQ(sb.FlushThreshold(0), 2u);
+  sb.Send(0, 3);
+  sb.Send(0, 4);
+  EXPECT_EQ(sb.Pending(), 0u);  // auto-flushed at the measured depth
+  sb.FlushAll();
+  mesh.Drain(0, [&](std::uint64_t v) { sink += v; });
+}
+
+// The estimator itself: climbs with ceil rounding, decays with floor, so
+// a line-deep workload recovers full staging quickly while shallow phases
+// still pull the threshold down. These exact sequences are pinned.
+TEST(BurstEstimator, AsymmetricConvergence) {
+  detail::BurstEstimator est;
+  EXPECT_EQ(est.Threshold(8), 8u);  // no observation: full line
+  est.Observe(2);
+  EXPECT_EQ(est.estimate(), 2u);
+  EXPECT_EQ(est.Threshold(8), 2u);
+  // Climb 2 -> 8 with ceil rounding: 2, 4(ceil 3.75), 5, 6(ceil 5.75), ...
+  std::vector<std::size_t> climb;
+  for (int i = 0; i < 6; ++i) {
+    est.Observe(8);
+    climb.push_back(est.estimate());
+  }
+  EXPECT_EQ(climb, (std::vector<std::size_t>{4, 5, 6, 7, 8, 8}));
+  // Decay 8 -> 2 with floor rounding.
+  std::vector<std::size_t> decay;
+  for (int i = 0; i < 6; ++i) {
+    est.Observe(2);
+    decay.push_back(est.estimate());
+  }
+  EXPECT_EQ(decay, (std::vector<std::size_t>{6, 5, 4, 3, 2, 2}));
+  // Never below 1.
+  for (int i = 0; i < 4; ++i) est.Observe(1);
+  EXPECT_EQ(est.estimate(), 1u);
+  EXPECT_EQ(est.Threshold(8), 1u);
 }
 
 }  // namespace

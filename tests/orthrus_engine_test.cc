@@ -213,6 +213,55 @@ TEST(OrthrusInflight, WiderWindowRaisesThroughputWhenUncontended) {
   EXPECT_GT(run(wide), run(narrow) * 1.2);
 }
 
+TEST(OrthrusCombinedGrants, ConservesAndSendsFewerWords) {
+  // Grant combining packs the quantum's grants per exec thread into one
+  // word apiece: same commits, same effects, strictly fewer words on the
+  // CC->exec path than one-word-per-grant.
+  OrthrusOptions plain;
+  plain.num_cc = 2;
+  plain.max_inflight = 8;
+  OrthrusOptions combined = plain;
+  combined.combined_grants = true;
+
+  KvConfig kv;
+  kv.num_records = 4000;
+  kv.hot_records = 16;  // conflicts queue grants, so release bursts them
+  kv.num_partitions = 2;
+  KvWorkload* wl = nullptr;
+  storage::Database db1, db2;
+  RunResult a = RunOrthrus(kv, plain, 6, &wl, &db1);
+  RunResult b = RunOrthrus(kv, combined, 6, &wl, &db2);
+  ASSERT_GT(a.total.committed, 0u);
+  ASSERT_GT(b.total.committed, 0u);
+  EXPECT_EQ(wl->SumCounters(db2), b.total.committed * 10);
+  const double per_a =
+      static_cast<double>(a.total.messages_sent) / a.total.committed;
+  const double per_b =
+      static_cast<double>(b.total.messages_sent) / b.total.committed;
+  EXPECT_LT(per_b, per_a);  // combining can only remove words
+}
+
+TEST(OrthrusCombinedGrants, RejectsOversizedInflightWindow) {
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.combined_grants = true;
+  oo.max_inflight = 257;  // slot ids no longer fit one byte
+  EXPECT_DEATH(OrthrusEngine(SmallRun(6), oo), "CHECK");
+}
+
+TEST(OrthrusAdaptiveFlush, ConservesUnderShallowBursts) {
+  // Depth-triggered flush boundaries change message timing, never message
+  // content: commits and effects must be conserved.
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.adaptive_flush = true;
+  KvWorkload* wl = nullptr;
+  storage::Database db;
+  RunResult r = RunOrthrus(MultiPartKv(2, 2), oo, 6, &wl, &db);
+  EXPECT_GT(r.total.committed, 0u);
+  EXPECT_EQ(wl->SumCounters(db), r.total.committed * 10);
+}
+
 TEST(OrthrusZipfian, SkewedWorkloadConserves) {
   KvConfig kv;
   kv.num_records = 8000;
@@ -296,6 +345,239 @@ TEST(Autotune, DefaultCandidatesArePowersOfTwo) {
   engine::AutotuneResult r = engine::AutotuneThreadSplit(8, &wl, opts);
   // Defaults: 1, 2, 4 (candidates must leave at least one exec core).
   EXPECT_EQ(r.probes.size(), 3u);
+}
+
+// ------------------------------------------------- ElasticController
+
+TEST(ElasticController, SweepsThenHoldsAtTheKnee) {
+  // Synthetic epoch throughput: rises to a knee at 6 active exec threads,
+  // then degrades (over-subscription). The sweep probes 12..1, the hold
+  // settles on the knee — the smallest target within tolerance of the
+  // best sample — and stays.
+  const auto tput = [](int active) {
+    const double capacity = 6.0;
+    const double a = static_cast<double>(active);
+    return a <= capacity ? a : capacity - 0.4 * (a - capacity);
+  };
+  engine::ElasticController::Config cfg;
+  cfg.min_active = 1;
+  cfg.max_active = 12;
+  cfg.initial = 12;
+  cfg.tolerance = 0.03;
+  engine::ElasticController c(cfg);
+  EXPECT_EQ(c.target(), 12);
+  EXPECT_EQ(c.phase(), engine::ElasticController::Phase::kSweep);
+  int target = c.target();
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    target = c.Step(tput(target));
+  }
+  EXPECT_EQ(c.phase(), engine::ElasticController::Phase::kHold);
+  EXPECT_EQ(c.sweeps_completed(), 1);
+  EXPECT_EQ(target, 6);  // exactly the knee: deterministic sweep + argmax
+  EXPECT_NEAR(c.hold_throughput(), tput(6), 0.5);
+  EXPECT_EQ(c.decisions(), 40);
+}
+
+TEST(ElasticController, MonotoneUtilityHoldsTheCeiling) {
+  const auto tput = [](int active) { return static_cast<double>(active); };
+  engine::ElasticController::Config cfg;
+  cfg.min_active = 2;
+  cfg.max_active = 8;
+  cfg.initial = 1;  // below the floor: clamped up (sweep covers [2, 2])
+  engine::ElasticController c(cfg);
+  EXPECT_EQ(c.target(), 2);
+  int target = c.target();
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    target = c.Step(tput(target));
+    EXPECT_GE(target, 2);
+    EXPECT_LE(target, 8);
+  }
+  // The first sweep only saw [2]; after a (deterministically triggered)
+  // hold it stays there — throughput never degrades, so no re-sweep. The
+  // engine's default initial (max_active) is what makes the sweep cover
+  // the full range.
+  EXPECT_EQ(c.phase(), engine::ElasticController::Phase::kHold);
+  EXPECT_EQ(target, 2);
+
+  engine::ElasticController::Config full = cfg;
+  full.initial = 8;
+  engine::ElasticController c2(full);
+  target = c2.target();
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    target = c2.Step(tput(target));
+  }
+  EXPECT_EQ(target, 8);  // monotone utility: the ceiling wins the sweep
+}
+
+TEST(ElasticController, FlatCurvePicksTheSmallestAllocation) {
+  // All targets equivalent: the tie-break frees threads (smallest target
+  // within tolerance of the best sample).
+  engine::ElasticController::Config cfg;
+  cfg.min_active = 1;
+  cfg.max_active = 10;
+  cfg.initial = 10;
+  engine::ElasticController c(cfg);
+  int target = c.target();
+  for (int i = 0; i < 15; ++i) {
+    target = c.Step(100.0);  // perfectly flat response
+  }
+  EXPECT_EQ(c.phase(), engine::ElasticController::Phase::kHold);
+  EXPECT_EQ(target, 1);
+}
+
+TEST(ElasticController, PersistentDegradationTriggersResweep) {
+  // Concave curve with knee 6 as above; after convergence the workload
+  // shifts (throughput halves at every allocation). One bad epoch is
+  // noise; two consecutive restart the sweep from the ceiling.
+  const auto tput = [](int active) {
+    const double a = static_cast<double>(active);
+    return a <= 6.0 ? a : 6.0 - 0.4 * (a - 6.0);
+  };
+  engine::ElasticController::Config cfg;
+  cfg.min_active = 1;
+  cfg.max_active = 12;
+  cfg.initial = 12;
+  cfg.tolerance = 0.03;
+  engine::ElasticController c(cfg);
+  int target = c.target();
+  for (int epoch = 0; epoch < 20; ++epoch) target = c.Step(tput(target));
+  ASSERT_EQ(c.phase(), engine::ElasticController::Phase::kHold);
+  ASSERT_EQ(target, 6);
+
+  target = c.Step(0.5 * tput(target));  // one bad epoch: noise, still held
+  EXPECT_EQ(c.phase(), engine::ElasticController::Phase::kHold);
+  EXPECT_EQ(target, 6);
+  target = c.Step(0.5 * tput(target));  // second in a row: workload moved
+  EXPECT_EQ(c.phase(), engine::ElasticController::Phase::kSweep);
+  EXPECT_EQ(target, 12);  // re-probing from the ceiling
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    target = c.Step(0.5 * tput(target));
+  }
+  EXPECT_EQ(c.sweeps_completed(), 2);
+  EXPECT_EQ(target, 6);  // re-converged on the shifted curve
+}
+
+// ------------------------------------------------- elastic engine mode
+
+engine::EngineOptions ElasticRun(int cores) {
+  engine::EngineOptions o;
+  o.num_cores = cores;
+  // Time-bound (no commit cap): elastic mode parks threads for whole
+  // epochs, so per-worker caps are not a meaningful stop condition.
+  o.duration_seconds = 0.004;
+  o.lock_buckets = 1 << 12;
+  return o;
+}
+
+TEST(OrthrusElastic, ConservesAcrossReallocationEpochs) {
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.elastic = true;
+  oo.elastic_epoch_seconds = 0.0002;
+  KvConfig kv;
+  kv.num_records = 8000;
+  kv.num_partitions = 2;
+  KvWorkload wl(kv);
+  storage::Database db;
+  wl.Load(&db, 1);
+  OrthrusEngine eng(ElasticRun(8), oo);
+  hal::SimPlatform sim(8);
+  RunResult r = eng.Run(&sim, &db, wl);
+  ASSERT_GT(r.total.committed, 0u);
+  // No message lost or duplicated across park/resume epochs: every commit
+  // applied exactly once (the engine additionally CHECKs every queue
+  // drained and every sender retired at teardown).
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
+  // The controller actually moved the allocation at least once.
+  EXPECT_GT(eng.reallocations(), 0u);
+  EXPECT_GE(eng.final_exec_target(), 1);
+  EXPECT_LE(eng.final_exec_target(), eng.num_exec());
+}
+
+TEST(OrthrusElastic, RunsAreDeterministic) {
+  const auto run = [] {
+    OrthrusOptions oo;
+    oo.num_cc = 2;
+    oo.elastic = true;
+    oo.elastic_epoch_seconds = 0.0002;
+    KvConfig kv;
+    kv.num_records = 8000;
+    kv.num_partitions = 2;
+    KvWorkload wl(kv);
+    storage::Database db;
+    wl.Load(&db, 1);
+    OrthrusEngine eng(ElasticRun(8), oo);
+    hal::SimPlatform sim(8);
+    RunResult r = eng.Run(&sim, &db, wl);
+    return std::make_pair(r.total.committed, eng.reallocations());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // same commits, same reallocation trace
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(OrthrusElastic, MinExecFloorIsRespected) {
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.elastic = true;
+  oo.elastic_min_exec = 3;
+  oo.elastic_epoch_seconds = 0.0002;
+  KvConfig kv;
+  kv.num_records = 8000;
+  kv.num_partitions = 2;
+  KvWorkload wl(kv);
+  storage::Database db;
+  wl.Load(&db, 1);
+  OrthrusEngine eng(ElasticRun(8), oo);
+  hal::SimPlatform sim(8);
+  RunResult r = eng.Run(&sim, &db, wl);
+  ASSERT_GT(r.total.committed, 0u);
+  EXPECT_GE(eng.final_exec_target(), 3);
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
+}
+
+TEST(OrthrusElastic, WorksOnNativeThreads) {
+  // The park/resume protocol must be thread-safe under true concurrency,
+  // not just under the cooperative simulator.
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.elastic = true;
+  oo.elastic_epoch_seconds = 0.0005;
+  KvConfig kv;
+  kv.num_records = 4000;
+  kv.num_partitions = 2;
+  KvWorkload wl(kv);
+  storage::Database db;
+  wl.Load(&db, 1);
+  engine::EngineOptions o = ElasticRun(6);
+  o.duration_seconds = 0.05;  // wall seconds on the native platform
+  OrthrusEngine eng(o, oo);
+  hal::NativePlatform p(6);
+  RunResult r = eng.Run(&p, &db, wl);
+  EXPECT_GT(r.total.committed, 0u);
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
+}
+
+TEST(OrthrusElastic, SharedCcTableComposes) {
+  // Elastic exec threads over the Section 3.4 shared CC table: the home-CC
+  // routing is unaffected by which exec threads are active.
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.shared_cc_table = true;
+  oo.elastic = true;
+  oo.elastic_epoch_seconds = 0.0002;
+  KvConfig kv;
+  kv.num_records = 8000;
+  kv.num_partitions = 2;
+  KvWorkload wl(kv);
+  storage::Database db;
+  wl.Load(&db, 1);
+  OrthrusEngine eng(ElasticRun(8), oo);
+  hal::SimPlatform sim(8);
+  RunResult r = eng.Run(&sim, &db, wl);
+  ASSERT_GT(r.total.committed, 0u);
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
 }
 
 }  // namespace
