@@ -43,6 +43,7 @@ int main() {
     bool batched_mp;
     bool coalesced_send;
     bool combined_grants = false;
+    bool adaptive_drain_batch = false;
   };
   const Arm arms[] = {
       {"batched+coalesced (default)", true, true},
@@ -53,6 +54,12 @@ int main() {
       // grants per exec thread into single words (fewer words, one extra
       // quantum of grant latency).
       {"default + combined grants", true, true, true},
+      // Burst-adaptive drain batch sizing on top of the default: each
+      // receiver pops in batches sized by its measured burst depth
+      // (mp::detail::BurstEstimator) instead of a full line — the receive
+      // side of the same latency/amortization trade adaptive_flush makes
+      // on the send side.
+      {"default + adaptive drain batch", true, true, false, true},
   };
   for (const Arm& arm : arms) {
     std::vector<double> tputs;
@@ -71,6 +78,7 @@ int main() {
       oo.batched_mp = arm.batched_mp;
       oo.coalesced_send = arm.coalesced_send;
       oo.combined_grants = arm.combined_grants;
+      oo.adaptive_drain_batch = arm.adaptive_drain_batch;
       engine::OrthrusEngine eng(BenchOptions(kCores), oo);
       RunResult r = RunPoint(&eng, &wl, kCores, 1);
       tputs.push_back(r.Throughput());

@@ -28,24 +28,28 @@ int main() {
   std::vector<std::string> xs;
   for (int c : cc_counts) xs.push_back(std::to_string(c));
 
+  auto make_kv = [&](int n_cc, double zipf, int parts_per_txn) {
+    workload::KvConfig kv;
+    kv.num_records = KvRecords();
+    kv.row_bytes = KvRowBytes();
+    kv.num_partitions = n_cc;
+    kv.seed = 55;
+    if (zipf > 0) {
+      kv.zipf_theta = zipf;
+      kv.placement = workload::KvConfig::Placement::kUniform;
+    } else {
+      kv.placement = workload::KvConfig::Placement::kFixedCount;
+      kv.partitions_per_txn = std::min(parts_per_txn, n_cc);
+    }
+    return kv;
+  };
+
   auto run_sweep = [&](const char* title, double zipf, int parts_per_txn) {
     PrintHeader(title, "tput (M/s) @cc", xs);
     for (bool shared : {false, true}) {
       std::vector<double> tputs;
       for (int n_cc : cc_counts) {
-        workload::KvConfig kv;
-        kv.num_records = KvRecords();
-        kv.row_bytes = KvRowBytes();
-        kv.num_partitions = n_cc;
-        kv.seed = 55;
-        if (zipf > 0) {
-          kv.zipf_theta = zipf;
-          kv.placement = workload::KvConfig::Placement::kUniform;
-        } else {
-          kv.placement = workload::KvConfig::Placement::kFixedCount;
-          kv.partitions_per_txn = std::min(parts_per_txn, n_cc);
-        }
-        workload::KvWorkload wl(kv);
+        workload::KvWorkload wl(make_kv(n_cc, zipf, parts_per_txn));
         engine::OrthrusOptions oo;
         oo.num_cc = n_cc;
         oo.shared_cc_table = shared;
@@ -53,6 +57,20 @@ int main() {
         tputs.push_back(RunPoint(&eng, &wl, kCores, 1).Throughput());
       }
       PrintRow(shared ? "shared-cc-table" : "partitioned-cc", tputs);
+    }
+    // The fifth architecture: the same partition-local lock metadata with
+    // no dedicated CC threads at all — every one of the 80 cores both
+    // acquires (through per-partition latches; the x-axis is the shard
+    // count here) and executes. Prices the dedicated-thread design
+    // against doing CC in place on the same partitioned metadata.
+    {
+      std::vector<double> tputs;
+      for (int n_cc : cc_counts) {
+        workload::KvWorkload wl(make_kv(n_cc, zipf, parts_per_txn));
+        engine::SharedCcEngine eng(BenchOptions(kCores));
+        tputs.push_back(RunPoint(&eng, &wl, kCores, 1).Throughput());
+      }
+      PrintRow("sharedcc-everywhere", tputs);
     }
   };
 

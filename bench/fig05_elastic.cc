@@ -1,17 +1,21 @@
-// Figure 5 (dynamic variant): elastic exec-thread allocation vs. the best
-// static split, across a contention sweep.
+// Figure 5 (dynamic variant): elastic thread allocation vs. the best
+// static split, across a contention sweep — now in BOTH dimensions.
 //
 // The static Figure 5 shows why the CC/exec split matters: each curve
 // rises while exec threads are the bottleneck and plateaus (or dips) once
-// the fixed CC threads saturate — and the right exec count moves with the
-// workload. This driver closes the loop the paper's Section 4.2 sketches:
-// `OrthrusOptions::elastic` runs the ElasticController against live
-// per-epoch commit counts, parking and resuming exec threads at run time.
+// the fixed CC threads saturate — and the right split moves with the
+// workload. PR 4 closed half the loop (`OrthrusOptions::elastic` resizes
+// the exec population at run time); with `elastic_cc` the lock space is a
+// consistent-hash map of partitions onto CC slots (lock::SpaceMap), so the
+// controller (engine::ElasticController2D) searches the full
+// (cc_count x exec_count) plane, handing lock partitions between CC
+// threads under the epoch protocol as it moves.
 //
-// Expected shape: for every contention level the elastic row lands within
-// ~10% of the best static row (it spends early epochs probing, so exact
-// parity is not expected), without being told the workload. The last row
-// prints exactly that ratio.
+// Expected shape: for every contention level the elastic arm's *steady
+// state* (hold-phase EWMA; the whole-run number additionally pays the grid
+// sweep's probing epochs) lands within ~10% of the best static (cc, exec)
+// grid point, without being told the workload. The last rows print exactly
+// those ratios.
 #include <algorithm>
 #include <vector>
 
@@ -21,8 +25,10 @@ int main() {
   using namespace orthrus;
   using namespace orthrus::bench;
 
-  const int kCc = 4;
+  const int kMaxCc = 4;
   const int kMaxExec = 16;
+  const int kParts = 2 * kMaxCc;  // elastic_cc lock partitions
+  const std::vector<int> static_ccs = {2, 4};
   const std::vector<int> static_execs = {2, 4, 8, 16};
 
   struct Point {
@@ -38,40 +44,59 @@ int main() {
   };
   std::vector<std::string> xs;
   for (const Point& p : points) xs.push_back(p.label);
-  PrintHeader("Figure 5 (dynamic): elastic vs static exec allocation, 4 cc",
-              "tput (M/s) @contention", xs);
+  PrintHeader(
+      "Figure 5 (dynamic): 2-D elastic vs static (cc, exec) allocation",
+      "tput (M/s) @contention", xs);
 
+  // Every arm runs the SAME lock-space universe (kParts consistent-hash
+  // partitions through lock::SpaceMap): the figure is about *thread
+  // allocation*, so the partition granularity — which sets the number of
+  // acquisition stages per transaction — must be held constant. A static
+  // (cc, exec) grid point is therefore an elastic_cc engine with both
+  // populations pinned (floors == ceilings, no controller epochs): the
+  // exact routing layer, fixed allocation.
   const auto make_workload = [&](const Point& p) {
     workload::KvConfig kv;
     kv.num_records = KvRecords();
     kv.row_bytes = KvRowBytes();
-    kv.num_partitions = kCc;
+    kv.num_partitions = kParts;
     kv.zipf_theta = p.zipf_theta;
     kv.hot_records = p.hot_records;
     kv.seed = 5;
     return kv;
   };
 
-  // Static sweep: one row per fixed exec count.
+  // Static grid: one row per pinned (cc, exec) pair.
   std::vector<double> best_static(points.size(), 0.0);
-  for (int n_exec : static_execs) {
-    std::vector<double> tputs;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      workload::KvWorkload wl(make_workload(points[i]));
-      engine::OrthrusOptions oo;
-      oo.num_cc = kCc;
-      engine::OrthrusEngine eng(BenchOptions(kCc + n_exec), oo);
-      RunResult r = RunPoint(&eng, &wl, kCc + n_exec, 1, kCc);
-      tputs.push_back(r.Throughput());
-      best_static[i] = std::max(best_static[i], r.Throughput());
+  for (int n_cc : static_ccs) {
+    for (int n_exec : static_execs) {
+      std::vector<double> tputs;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        workload::KvWorkload wl(make_workload(points[i]));
+        engine::OrthrusOptions oo;
+        oo.num_cc = n_cc;
+        oo.elastic = true;
+        oo.elastic_cc = true;
+        oo.cc_partitions = kParts;
+        oo.elastic_min_cc = n_cc;
+        oo.elastic_min_exec = n_exec;
+        oo.elastic_epoch_seconds = 1000.0;  // no controller epoch ends
+        engine::OrthrusEngine eng(BenchOptions(n_cc + n_exec), oo);
+        RunResult r = RunPoint(&eng, &wl, n_cc + n_exec, 1, kParts);
+        tputs.push_back(r.Throughput());
+        best_static[i] = std::max(best_static[i], r.Throughput());
+      }
+      PrintRow("static " + std::to_string(n_cc) + "cc/" +
+                   std::to_string(n_exec) + "ex",
+               tputs);
     }
-    PrintRow("static " + std::to_string(n_exec) + " exec", tputs);
   }
 
-  // Elastic arm: spawn the full exec budget, let the controller find the
-  // split. Whole-run throughput includes the sweep's probing epochs; the
-  // steady-state row is the controller's hold-phase EWMA — the converged
-  // rate, which is what the 10%-of-best-static acceptance is about.
+  // Elastic arm: spawn the full (cc, exec) budget, let the 2-D controller
+  // find the split. Epochs are sized so the grid sweep (|cc candidates| x
+  // |exec candidates| epochs) fits in a fraction of the run and the hold
+  // phase dominates the steady-state EWMA; the loose tolerance keeps
+  // single noisy epochs from re-triggering the (expensive) grid sweep.
   std::vector<double> elastic_tputs;
   std::vector<double> whole_run_ratios;
   std::vector<double> steady_ratios;
@@ -79,12 +104,15 @@ int main() {
   for (std::size_t i = 0; i < points.size(); ++i) {
     workload::KvWorkload wl(make_workload(points[i]));
     engine::OrthrusOptions oo;
-    oo.num_cc = kCc;
+    oo.num_cc = kMaxCc;
     oo.elastic = true;
-    oo.elastic_epoch_seconds = PointSeconds() / 20.0;
-    oo.elastic_step = 2;
-    engine::OrthrusEngine eng(BenchOptions(kCc + kMaxExec), oo);
-    RunResult r = RunPoint(&eng, &wl, kCc + kMaxExec, 1, kCc);
+    oo.elastic_cc = true;
+    oo.cc_partitions = kParts;
+    oo.elastic_step = 4;  // exec candidates: 16, 12, 8, 4, 1
+    oo.elastic_epoch_seconds = PointSeconds() / 50.0;
+    oo.elastic_tolerance = 0.1;
+    engine::OrthrusEngine eng(BenchOptions(kMaxCc + kMaxExec), oo);
+    RunResult r = RunPoint(&eng, &wl, kMaxCc + kMaxExec, 1, kParts);
     elastic_tputs.push_back(r.Throughput());
     whole_run_ratios.push_back(
         best_static[i] > 0 ? r.Throughput() / best_static[i] : 0.0);
@@ -92,10 +120,13 @@ int main() {
         best_static[i] > 0 ? eng.steady_state_throughput() / best_static[i]
                            : 0.0);
     targets += " " + std::string(points[i].label) + "->" +
-               std::to_string(eng.final_exec_target()) + "exec(" +
-               std::to_string(eng.reallocations()) + " moves)";
+               std::to_string(eng.final_cc_target()) + "cc/" +
+               std::to_string(eng.final_exec_target()) + "ex(" +
+               std::to_string(eng.cc_reallocations()) + "cc+" +
+               std::to_string(eng.reallocations() - eng.cc_reallocations()) +
+               "ex moves)";
   }
-  PrintRow("elastic (autotune)", elastic_tputs);
+  PrintRow("elastic 2-D (autotune)", elastic_tputs);
 
   const auto ratio_row = [](const std::vector<double>& ratios) {
     std::vector<double> row;
@@ -106,7 +137,7 @@ int main() {
   PrintRow("steady state / best", ratio_row(steady_ratios));
   PrintNote("converged targets:" + targets);
   PrintNote(
-      "whole-run pays the sweep's probing epochs; steady state >= 0.9 of "
-      "the best static split is the convergence bar.");
+      "whole-run pays the grid sweep's probing epochs; steady state >= 0.9 "
+      "of the best static (cc, exec) grid point is the convergence bar.");
   return 0;
 }

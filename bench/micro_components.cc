@@ -177,6 +177,47 @@ void BM_MultiMeshDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiMeshDrain)->Arg(4)->Arg(16)->ArgNames({"senders"});
 
+// Line-aligned MPSC reservations: whole-line reservations with skip
+// padding versus the default packed layout, at a given batch depth.
+// Shallow batches pay the padding (more ring slots consumed per value,
+// hence more head/tail traffic per delivered message); line-deep batches
+// are byte-for-byte the packed behaviour. The native counters here show
+// the single-threaded overhead floor; the win the mode exists for —
+// concurrent producers no longer invalidating each other's payload lines
+// mid-line — is a coherence effect priced by the simulator, not visible
+// to a one-thread benchmark.
+void BM_MpscLineAligned(benchmark::State& state) {
+  const bool aligned = state.range(0) != 0;
+  const std::size_t batch = static_cast<std::size_t>(state.range(1));
+  constexpr std::uint64_t kSkip = ~0ull;
+  mp::MpscQueue<std::uint64_t> q(2048, aligned, kSkip);
+  std::uint64_t buf[64];
+  for (std::size_t i = 0; i < 64; ++i) buf[i] = i;
+  std::uint64_t out[64];
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int burst = 0; burst < 8; ++burst) {
+      std::size_t pushed = 0;
+      while (pushed < batch) {
+        pushed += q.PushBatch(buf + pushed, batch - pushed);
+      }
+    }
+    std::size_t n;
+    while ((n = q.PopBatch(out, 64)) != 0) {
+      for (std::size_t i = 0; i < n; ++i) sink += out[i];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MpscLineAligned)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->ArgNames({"aligned", "batch"});
+
 void BM_LockTableAcquireRelease(benchmark::State& state) {
   lock::LockTable::Config cfg;
   cfg.num_buckets = 1 << 12;

@@ -138,6 +138,85 @@ class ElasticController {
   int sweeps_completed_ = 0;
 };
 
+// ---------------------------------------------------------------------
+// Two-dimensional (cc_count x exec_count) allocation controller.
+//
+// With lock-space ownership remappable at run time (lock::SpaceMap), the
+// CC population is as elastic as the exec population, and the controller
+// can search the full Figure-5 allocation plane instead of one axis of it.
+// The policy is the same sweep-and-hold that survived epoch noise in the
+// 1-D controller, lifted to a grid walk:
+//
+//   * SWEEP: walk (cc, exec) candidates — cc from max_cc down to min_cc in
+//     cc_step decrements, and for each cc the exec axis from max_exec down
+//     to min_exec in exec_step decrements — one epoch per grid point.
+//   * HOLD: jump to the candidate within half of `tolerance` of the best
+//     sample that frees the most threads (smallest cc+exec; ties prefer
+//     fewer CC threads — an idle CC thread is pure overhead, an idle exec
+//     thread at least polls its own queues), track the hold EWMA.
+//   * RE-SWEEP: on `drift_epochs` consecutive epochs below
+//     (1 - 4*tolerance) of the hold EWMA, restart from the grid corner.
+//
+// Deliberately a separate class from ElasticController: the 1-D policy is
+// the pinned behaviour of the elastic_cc=false path, and sharing state
+// machines would couple the byte-identical path to 2-D changes.
+class ElasticController2D {
+ public:
+  enum class Phase { kSweep, kHold };
+
+  struct Target {
+    int cc = 1;
+    int exec = 1;
+  };
+
+  struct Config {
+    int min_cc = 1;
+    int max_cc = 1;
+    int min_exec = 1;
+    int max_exec = 1;
+    int cc_step = 1;
+    int exec_step = 1;
+    // Starting targets (0 = the respective max).
+    int initial_cc = 0;
+    int initial_exec = 0;
+    double tolerance = 0.05;
+    int drift_epochs = 2;
+  };
+
+  explicit ElasticController2D(const Config& config);
+
+  Target target() const { return target_; }
+  Phase phase() const { return phase_; }
+  int decisions() const { return decisions_; }
+  int moves() const { return moves_; }
+  int sweeps_completed() const { return sweeps_completed_; }
+  double hold_throughput() const { return hold_ewma_; }
+
+  // Feed the finished epoch's throughput (measured under the current
+  // target); returns the target for the next epoch.
+  Target Step(double epoch_throughput);
+
+ private:
+  void BeginSweep();
+  // Advances target_ to the next grid point; false when the sweep is done.
+  bool NextCandidate();
+
+  Config cfg_;
+  Target target_;
+  Phase phase_ = Phase::kSweep;
+  struct Sample {
+    Target target;
+    double throughput;
+  };
+  std::vector<Sample> samples_;
+  double hold_ewma_ = 0.0;
+  bool has_hold_baseline_ = false;
+  int degraded_epochs_ = 0;
+  int decisions_ = 0;
+  int moves_ = 0;
+  int sweeps_completed_ = 0;
+};
+
 }  // namespace orthrus::engine
 
 #endif  // ORTHRUS_ENGINE_AUTOTUNE_H_

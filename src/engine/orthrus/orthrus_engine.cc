@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/autotune.h"
+#include "lock/space_map.h"
 #include "mp/multi_mesh.h"
 #include "mp/queue_mesh.h"
 #include "mp/send_buffer.h"
@@ -23,6 +24,7 @@ using txn::Txn;
 
 constexpr int kMaxAccesses = 40;   // TPC-C NewOrder peaks at ~18
 constexpr int kMaxStages = kMaxAccesses;
+static_assert(kMaxStages <= 64, "stage indexes ride in 6 message bits");
 
 // ------------------------------------------------------------- messages
 
@@ -31,9 +33,14 @@ constexpr int kMaxStages = kMaxAccesses;
 // pointer at all: it packs up to kMaxCombinedGrants in-flight-window slot
 // ids (one byte each) plus a count, so several grants bound for the same
 // exec thread cost one message word.
+//
+// kRelease additionally carries the index of the stage being released in
+// bits [3, 9): with a remappable lock space one CC thread can own several
+// of a transaction's stages, so "release my stage" is no longer
+// self-describing. TCBs are 512-byte aligned to free those bits.
 enum MsgTag : std::uint64_t {
   kAcquire = 0,        // exec->CC or CC->CC: acquire locks for cur_stage
-  kRelease = 1,        // exec->CC: release this CC's locks of tcb
+  kRelease = 1,        // exec->CC: release one stage's locks of tcb
   kGrant = 2,          // CC->exec: all stages granted, execute
   kStageDone = 3,      // CC->exec (non-forwarding mode): one stage granted
   kAck = 4,            // CC->exec: release processed
@@ -46,19 +53,37 @@ enum MsgTag : std::uint64_t {
 // in-flight-window indexes, so combined grants require max_inflight <= 256.
 constexpr int kMaxCombinedGrants = 7;
 
+// TCB alignment: 3 tag bits + 6 stage-index bits (kMaxStages <= 64).
+constexpr std::uint64_t kTcbAlign = 512;
+constexpr std::uint64_t kStageShift = 3;
+constexpr std::uint64_t kStageFieldMask = 63;
+
 struct Tcb;
 
 std::uint64_t Encode(Tcb* tcb, MsgTag tag) {
   const std::uint64_t p = reinterpret_cast<std::uint64_t>(tcb);
-  ORTHRUS_DCHECK((p & kTagMask) == 0);
+  ORTHRUS_DCHECK((p & (kTcbAlign - 1)) == 0);
   return p | tag;
 }
 
+// Release message: the stage index travels in the low alignment bits so
+// any CC thread holding the message knows which stage's shard it targets.
+std::uint64_t EncodeRelease(Tcb* tcb, int stage_idx) {
+  ORTHRUS_DCHECK(stage_idx >= 0 &&
+                 stage_idx <= static_cast<int>(kStageFieldMask));
+  return Encode(tcb, kRelease) |
+         (static_cast<std::uint64_t>(stage_idx) << kStageShift);
+}
+
 Tcb* DecodeTcb(std::uint64_t w) {
-  return reinterpret_cast<Tcb*>(w & ~static_cast<std::uint64_t>(kTagMask));
+  return reinterpret_cast<Tcb*>(w & ~(kTcbAlign - 1));
 }
 
 MsgTag DecodeTag(std::uint64_t w) { return static_cast<MsgTag>(w & kTagMask); }
+
+int DecodeStage(std::uint64_t w) {
+  return static_cast<int>((w >> kStageShift) & kStageFieldMask);
+}
 
 std::uint64_t EncodeCombinedGrant(const std::uint8_t* slots, int count) {
   ORTHRUS_DCHECK(count >= 1 && count <= kMaxCombinedGrants);
@@ -108,9 +133,11 @@ struct CcRequest {
 };
 
 // One lock-acquisition stage: the contiguous range of the (sorted) access
-// array owned by one CC thread.
+// array living in one lock partition. With the static lock space a
+// partition IS a CC thread (partition id == CC id); under elastic_cc the
+// owning CC thread is resolved through the lock::SpaceMap at send time.
 struct Stage {
-  std::int32_t cc = -1;
+  std::int32_t part = -1;
   std::uint16_t begin = 0;
   std::uint16_t end = 0;
 };
@@ -118,8 +145,9 @@ struct Stage {
 // Transaction control block. Owned by one execution thread's slot; while a
 // kAcquire message is in flight the fields below `cur_stage` are logically
 // owned by the CC thread holding the message (ownership travels with the
-// message, so no field is ever written concurrently).
-struct alignas(64) Tcb {
+// message, so no field is ever written concurrently). Alignment frees the
+// low pointer bits for the tag + stage-index message encoding.
+struct alignas(kTcbAlign) Tcb {
   Txn txn;
   int exec_id = -1;
   int slot = -1;
@@ -310,7 +338,11 @@ class SharedCcTable {
       if (a.mode == LockMode::kExclusive) lock->queued_x++;
       r->granted = grantable;
       b->latch.Unlock();
-      if (!r->granted) return false;  // parked; a granter will continue us
+      // Branch on the latch-protected local, never on r->granted after the
+      // unlock: a releaser on another CC thread may grant the parked
+      // request in that window, and a stale re-read would have this thread
+      // and the granter both continue the same transaction.
+      if (!grantable) return false;  // parked; a granter will continue us
       tcb->next_acq++;
     }
     return true;
@@ -406,6 +438,20 @@ using MultiMesh = mp::MultiMesh<std::uint64_t>;
 using SendBuf = mp::SendBuffer<std::uint64_t>;
 using MultiSendBuf = mp::MultiSendBuffer<std::uint64_t>;
 
+// One lock partition's owner-private state (elastic_cc mode). The shard —
+// not the CC thread — owns the lock table and the held-request count, so a
+// partition handoff moves all of its lock state with one pointer-ownership
+// transfer and the teardown accounting stays exact across any number of
+// handoffs.
+struct CcShard {
+  explicit CcShard(std::size_t lock_slots) : locks(lock_slots) {}
+  CcLockTable locks;
+  std::uint64_t held = 0;  // requests enqueued and not yet released
+};
+
+using SpaceMap = lock::SpaceMap<CcShard>;
+using Router = lock::LockSpaceRouter<CcShard>;
+
 struct Shared {
   int n_cc = 0;
   int n_exec = 0;
@@ -422,6 +468,9 @@ struct Shared {
   std::size_t send_stage = SendBuf::kDefaultStage;
   // Sender visit order when draining (adaptive_drain ablation flag).
   mp::DrainOrder drain_order = mp::DrainOrder::kRoundRobin;
+  // Receive-side mirror of adaptive_flush: each thread sizes its Drain
+  // max_batch from its measured per-quantum burst depth.
+  bool adaptive_drain_batch = false;
   hal::Cycles cc_op_cycles = 20;
 
   // Queue meshes, indexed (sender, receiver).
@@ -443,6 +492,17 @@ struct Shared {
   // Exec-thread worker contexts, for the controller's epoch snapshot reads.
   std::vector<runtime::WorkerContext*> exec_ctxs;
 
+  // Elastic CC population (elastic_cc mode): the lock space is n_parts
+  // consistent-hash partitions owned through the SpaceMap; CC threads
+  // above cc_gate's target hand their partitions off and park. Router
+  // slots are worker ids (CC threads first, like everything else).
+  bool elastic_cc = false;
+  int n_parts = 0;
+  SpaceMap* space = nullptr;
+  const lock::HashRing* ring = nullptr;
+  runtime::ParkGate cc_gate;
+  hal::Atomic<std::uint64_t> cc_reallocations{0};
+
   hal::Atomic<std::uint64_t> execs_done{0};
   hal::Atomic<std::uint64_t> inflight_global{0};
 
@@ -454,24 +514,31 @@ struct Shared {
 
 class CcThread {
  public:
-  // `controller` is non-null only on the CC thread that runs the elastic
-  // reallocation epochs (CC 0); `epoch_cycles` is that controller's
-  // decision period in cycles.
+  // `controller` (1-D) or `controller2d` (elastic_cc) is non-null only on
+  // the CC thread that runs the elastic reallocation epochs (CC 0);
+  // `epoch_cycles` is that controller's decision period in cycles.
   CcThread(int cc_id, Shared* shared, WorkerStats* stats,
            std::size_t lock_slots, ElasticController* controller = nullptr,
+           ElasticController2D* controller2d = nullptr,
            hal::Cycles epoch_cycles = 0)
       : cc_id_(cc_id),
         shared_(shared),
         stats_(stats),
-        locks_(lock_slots),
+        // elastic_cc: lock tables live in the SpaceMap's shards; the
+        // thread-local table stays unused (minimal footprint).
+        locks_(shared->elastic_cc ? 2 : lock_slots),
         out_cc_(&shared->cc_to_cc, cc_id, shared->send_stage,
                 shared->adaptive_flush),
         out_exec_(&shared->cc_to_exec, cc_id, shared->send_stage,
                   shared->adaptive_flush),
         controller_(controller),
+        controller2d_(controller2d),
         epoch_cycles_(epoch_cycles) {
     if (shared->combined_grants) {
       grant_stash_.resize(static_cast<std::size_t>(shared->n_exec));
+    }
+    if (shared->elastic_cc) {
+      router_ = std::make_unique<Router>(shared->space, cc_id);
     }
   }
 
@@ -482,10 +549,16 @@ class CcThread {
     while (true) {
       // Read the termination predicate *before* draining: if it was true
       // before a drain that found nothing, no message can arrive later.
-      const bool maybe_done =
-          shared_->execs_done.load() == static_cast<std::uint64_t>(
-                                            shared_->n_exec) &&
-          shared_->inflight_global.load() == 0;
+      const bool maybe_done = RunDrained();
+      // elastic_cc quantum preamble: refresh the map view and hand off
+      // shards the new epoch moved away; read the park barrier before the
+      // drain, so an empty drain after a true barrier proves quiescence
+      // (the same read-predicate-then-drain shape as maybe_done).
+      bool may_park = false;
+      if (shared_->elastic_cc) {
+        MaybeRemap();
+        may_park = ParkBarrierHolds();
+      }
       const bool progress = DrainOnce();
       // End of the scheduling quantum: grants, forwards, and acks staged
       // while handling this quantum's messages go out before we either
@@ -493,7 +566,9 @@ class CcThread {
       FlushCombinedGrants();
       out_cc_.FlushAll();
       out_exec_.FlushAll();
-      if (controller_ != nullptr) MaybeReallocate();
+      if (controller_ != nullptr || controller2d_ != nullptr) {
+        MaybeReallocate();
+      }
       if (progress) {
         idle.Reset();
         continue;
@@ -506,6 +581,11 @@ class CcThread {
                           "CC exiting with stashed combined grants");
         break;
       }
+      if (may_park) {
+        ParkCc();
+        idle.Reset();
+        continue;
+      }
       const hal::Cycles t0 = hal::Now();
       idle.Idle();
       stats_->Add(TimeCategory::kWaiting, hal::Now() - t0);
@@ -513,8 +593,15 @@ class CcThread {
   }
 
  private:
+  bool RunDrained() {
+    return shared_->execs_done.load() ==
+               static_cast<std::uint64_t>(shared_->n_exec) &&
+           shared_->inflight_global.load() == 0;
+  }
+
   bool DrainOnce() {
     const auto handle = [this](std::uint64_t w) { Handle(w); };
+    const std::size_t batch = DrainBatch();
     // Elastic mode: exec senders live on the dynamic MPSC mesh (fan-in is
     // a set of shared shard queues per CC thread, drained in fixed shard
     // order — drain_order does not apply there: messages inside a shard
@@ -523,15 +610,121 @@ class CcThread {
     // drain_order picks the sender visit order.
     std::size_t n =
         shared_->elastic
-            ? shared_->exec_to_cc_multi.Drain(cc_id_, handle,
-                                              shared_->drain_batch)
-            : shared_->exec_to_cc.Drain(cc_id_, handle, shared_->drain_batch,
+            ? shared_->exec_to_cc_multi.Drain(cc_id_, handle, batch)
+            : shared_->exec_to_cc.Drain(cc_id_, handle, batch,
                                         shared_->drain_order);
-    if (shared_->forwarding) {
-      n += shared_->cc_to_cc.Drain(cc_id_, handle, shared_->drain_batch,
+    // The CC->CC mesh carries forwarding chains — and, under elastic_cc,
+    // misrouted messages chasing a shard's current owner, which exist
+    // whether or not forwarding is on.
+    if (shared_->forwarding || shared_->elastic_cc) {
+      n += shared_->cc_to_cc.Drain(cc_id_, handle, batch,
                                    shared_->drain_order);
     }
+    drain_est_.Observe(shared_->adaptive_drain_batch, n);
     return n != 0;
+  }
+
+  // Drain granularity for this quantum: the configured batch, or the
+  // burst-depth estimate when adaptive_drain_batch is on (the receive-side
+  // mirror of SendBuffer's adaptive_flush).
+  std::size_t DrainBatch() const {
+    return drain_est_.Batch(shared_->adaptive_drain_batch,
+                            shared_->drain_batch);
+  }
+
+  // --- elastic_cc: epoch handoff, retire, resume -----------------------
+
+  // Quantum-boundary epoch work: refresh the routing view and hand off
+  // every shard we own whose owner under the current map is another CC
+  // slot. The sweep runs every quantum, NOT just when the epoch moved: a
+  // shard can be relinquished *to us* under an older map after we already
+  // observed the newest one (the relinquisher lagged), and no further
+  // version change would ever re-trigger a change-gated sweep — the shard
+  // would strand on us while every message for it self-requeues at the
+  // map's owner. The guard scan uses raw loads (eventual visibility is
+  // enough, it re-runs every quantum, and the steady-state scan must not
+  // bill modeled traffic); a hit is confirmed with an acquire load so the
+  // previous owner's shard writes happen-before our release-store to the
+  // next owner — without that acquire a plain-read-then-store would break
+  // the transfer chain's ordering. We are the only thread that may touch
+  // an owned shard, and we hold no reference into it between messages, so
+  // the release-store inside Relinquish is the entire transfer.
+  void MaybeRemap() {
+    router_->Refresh();
+    for (int p = 0; p < shared_->n_parts; ++p) {
+      const int owner = router_->OwnerOf(p);
+      if (owner == cc_id_) continue;
+      if (shared_->space->ShardOwnerRaw(p) !=
+          static_cast<std::uint64_t>(cc_id_)) {
+        continue;
+      }
+      if (shared_->space->ShardOwner(p) ==
+          static_cast<std::uint64_t>(cc_id_)) {
+        shared_->space->Relinquish(p, static_cast<std::uint64_t>(owner));
+      }
+    }
+  }
+
+  // The drain-to-empty retire barrier (see lock::SpaceMap): this slot may
+  // park only when the controller retired it, every router has observed an
+  // epoch at or past our view (so nothing routes here anymore), our own
+  // view maps no partition here, and no shard handoff still names us.
+  // The own-view check closes the claim window: the gate can drop between
+  // our Refresh and this read (a reactivate-then-retire pair of epochs),
+  // in which case our table — and every router's table at that same stale
+  // version, which the observation barrier would accept — can still route
+  // partitions to us even though no shard word names us yet. Refusing to
+  // park until a refresh adopts a map that excludes us forces the barrier
+  // to be evaluated at (at least) the retirement epoch. Ordering matters:
+  // the observation barrier is read before the ownership scan, so a
+  // transfer initiated under an older view is either visible to the scan
+  // or impossible.
+  bool ParkBarrierHolds() {
+    if (cc_id_ == 0) return false;  // the controller thread never parks
+    if (shared_->cc_gate.Active(cc_id_)) return false;
+    if (!shared_->space->AllObservedAtLeast(router_->version())) {
+      return false;
+    }
+    for (int p = 0; p < shared_->n_parts; ++p) {
+      if (router_->OwnerOf(p) == cc_id_) return false;
+      if (shared_->space->ShardOwner(p) ==
+          static_cast<std::uint64_t>(cc_id_)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void ParkCc() {
+    ORTHRUS_CHECK_MSG(out_cc_.Pending() == 0 && out_exec_.Pending() == 0 &&
+                          StashedGrants() == 0,
+                      "CC parking with staged messages");
+    router_->Deactivate();
+    // The park predicate also watches the shard owner words: if the
+    // target briefly rose and fell again while this thread never got a
+    // quantum (possible only under native scheduling), a peer may have
+    // relinquished a shard *to* us during the active window. Only the
+    // owner may relinquish, so we must wake, hand the shard onward under
+    // the current map (MaybeRemap at the next quantum top), and only
+    // then re-park — otherwise every message for that shard would chase
+    // an owner that never runs. Raw loads: eventual visibility is all
+    // the wake-up needs, and the spin must not bill modeled traffic.
+    const hal::Cycles parked = shared_->cc_gate.Park(
+        cc_id_, [this] { return RunDrained() || OwnsAnyShardRaw(); });
+    stats_->Add(TimeCategory::kWaiting, parked);
+    // No refresh here: the next quantum's MaybeRemap rebuilds the view
+    // (Deactivate zeroed the cached version) and runs the relinquish
+    // sweep, which is how a shard handed to us mid-park is passed onward.
+  }
+
+  bool OwnsAnyShardRaw() const {
+    for (int p = 0; p < shared_->n_parts; ++p) {
+      if (shared_->space->ShardOwnerRaw(p) ==
+          static_cast<std::uint64_t>(cc_id_)) {
+        return true;
+      }
+    }
+    return false;
   }
 
   // --- elastic reallocation epochs (controller CC thread only) ---------
@@ -561,14 +754,41 @@ class CcThread {
         static_cast<double>(committed - last_epoch_committed_) / elapsed;
     last_epoch_committed_ = committed;
     last_epoch_now_ = now;
+    // Controller debugging/bench observability (host-side, unmodeled).
+    static const bool trace = std::getenv("ORTHRUS_ELASTIC_TRACE") != nullptr;
+    if (controller2d_ != nullptr) {
+      // 2-D reallocation: exec moves ring the exec gate exactly as the 1-D
+      // controller's; CC moves publish a new lock-space epoch first, so a
+      // resumed CC thread's first Refresh sees a map that includes it and
+      // a retiring one sees the map that excludes it.
+      const ElasticController2D::Target before = controller2d_->target();
+      const ElasticController2D::Target t = controller2d_->Step(rate);
+      if (t.exec != before.exec) {
+        shared_->exec_gate.SetTarget(t.exec);
+        shared_->reallocations.fetch_add(1);
+      }
+      if (t.cc != before.cc) {
+        shared_->space->Publish(
+            shared_->ring->OwnersFor(shared_->n_parts, t.cc));
+        shared_->cc_gate.SetTarget(t.cc);
+        shared_->cc_reallocations.fetch_add(1);
+        shared_->reallocations.fetch_add(1);
+      }
+      if (trace) {
+        std::fprintf(
+            stderr,
+            "[elastic2d] epoch@%llu rate=%.3g/cycle cc %d->%d exec %d->%d\n",
+            static_cast<unsigned long long>(now), rate, before.cc, t.cc,
+            before.exec, t.exec);
+      }
+      return;
+    }
     const int before = controller_->target();
     const int target = controller_->Step(rate);  // commits per cycle
     if (target != before) {
       shared_->exec_gate.SetTarget(target);
       shared_->reallocations.fetch_add(1);
     }
-    // Controller debugging/bench observability (host-side, unmodeled).
-    static const bool trace = std::getenv("ORTHRUS_ELASTIC_TRACE") != nullptr;
     if (trace) {
       std::fprintf(stderr,
                    "[elastic] epoch@%llu rate=%.3g/cycle target %d->%d\n",
@@ -607,12 +827,38 @@ class CcThread {
   void Handle(std::uint64_t word) {
     const hal::Cycles t0 = hal::Now();
     Tcb* tcb = DecodeTcb(word);
-    switch (DecodeTag(word)) {
+    const MsgTag tag = DecodeTag(word);
+    if (shared_->elastic_cc) {
+      // Receipt authority check: only the shard's current owner may touch
+      // its lock state. A message that lands elsewhere (stale sender view,
+      // or a handoff store not yet observed) is re-routed under *this
+      // thread's current map view* — never the raw shard-owner word: the
+      // retire barrier only covers router views (all observed >= the
+      // retirement epoch), so an owner-word target could name a CC slot
+      // that relinquishes and parks before the forward lands. Under the
+      // router view the forward may reach the new owner before the shard
+      // does; it then self-requeues there (ShardOwner still the source)
+      // until the relinquish lands — bounded by the source's next quantum
+      // refresh, and never addressed to a parked slot.
+      const int part = tag == kAcquire
+                           ? tcb->stages[tcb->cur_stage].part
+                           : tag == kRelease
+                                 ? tcb->stages[DecodeStage(word)].part
+                                 : -1;
+      if (part >= 0 && shared_->space->ShardOwner(part) !=
+                           static_cast<std::uint64_t>(cc_id_)) {
+        out_cc_.Send(router_->OwnerOf(part), word);
+        stats_->messages_sent++;
+        stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+        return;
+      }
+    }
+    switch (tag) {
       case kAcquire:
         ProcessAcquire(tcb);
         break;
       case kRelease:
-        ProcessRelease(tcb);
+        ProcessRelease(tcb, word);
         break;
       default:
         ORTHRUS_CHECK_MSG(false, "unexpected message at CC thread");
@@ -620,19 +866,21 @@ class CcThread {
     stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
   }
 
-  void ProcessAcquire(Tcb* tcb) {
-    if (shared_->shared_cc != nullptr) {
-      if (shared_->shared_cc->ContinueAcquire(tcb)) SendGrant(tcb);
-      return;
-    }
+  // Enqueues the current stage's lock requests into the stage partition's
+  // table. Returns true when every lock was granted immediately; otherwise
+  // records tcb->pending (a later release's grant sweep advances it).
+  bool AcquireStage(Tcb* tcb) {
     const Stage& stage = tcb->stages[tcb->cur_stage];
-    ORTHRUS_DCHECK(stage.cc == cc_id_);
+    ORTHRUS_DCHECK(shared_->elastic_cc || stage.part == cc_id_);
+    CcShard* shard =
+        shared_->elastic_cc ? shared_->space->shard(stage.part) : nullptr;
+    CcLockTable& locks = shard != nullptr ? shard->locks : locks_;
     std::uint32_t pending = 0;
     for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
       const Access& a = tcb->txn.accesses[i];
       hal::ConsumeCycles(shared_->cc_op_cycles);
-      CcLock* lock = locks_.FindOrCreate(a.table, a.key);
-      CcRequest* r = locks_.AllocRequest();
+      CcLock* lock = locks.FindOrCreate(a.table, a.key);
+      CcRequest* r = locks.AllocRequest();
       r->tcb = tcb;
       r->lock = lock;
       r->access_idx = i;
@@ -656,16 +904,25 @@ class CcThread {
         stats_->lock_waits++;
       }
       tcb->reqs[i] = r;
-      held_++;
+      if (shard != nullptr) {
+        shard->held++;
+      } else {
+        held_++;
+      }
     }
-    if (pending == 0) {
-      Advance(tcb);
-    } else {
-      tcb->pending = pending;
-    }
+    if (pending != 0) tcb->pending = pending;
+    return pending == 0;
   }
 
-  void ProcessRelease(Tcb* tcb) {
+  void ProcessAcquire(Tcb* tcb) {
+    if (shared_->shared_cc != nullptr) {
+      if (shared_->shared_cc->ContinueAcquire(tcb)) SendGrant(tcb);
+      return;
+    }
+    if (AcquireStage(tcb)) Advance(tcb);
+  }
+
+  void ProcessRelease(Tcb* tcb, std::uint64_t word) {
     if (shared_->shared_cc != nullptr) {
       runnable_.clear();
       shared_->shared_cc->ReleaseAll(tcb, &runnable_);
@@ -678,26 +935,44 @@ class CcThread {
       }
       return;
     }
-    // Find our stage (stage lists are tiny).
-    for (int s = 0; s < tcb->n_stages; ++s) {
-      const Stage& stage = tcb->stages[s];
-      if (stage.cc != cc_id_) continue;
-      for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
-        hal::ConsumeCycles(shared_->cc_op_cycles);
-        CcRequest* r = tcb->reqs[i];
-        ORTHRUS_DCHECK(r != nullptr && r->lock != nullptr);
-        Unlink(r);
-        GrantFollowers(r->lock);
-        locks_.FreeRequest(r);
-        tcb->reqs[i] = nullptr;
-        held_--;
+    if (shared_->elastic_cc) {
+      // Stage-addressed release: the message names the stage, so a thread
+      // that owns several of the transaction's partitions releases exactly
+      // the one this message is for — one ack per release message.
+      const Stage& stage = tcb->stages[DecodeStage(word)];
+      CcShard* shard = shared_->space->shard(stage.part);
+      ReleaseStage(tcb, stage, shard->locks, shard->held);
+    } else {
+      // Find our stage (stage lists are tiny; partition id == CC id).
+      for (int s = 0; s < tcb->n_stages; ++s) {
+        const Stage& stage = tcb->stages[s];
+        if (stage.part != cc_id_) continue;
+        ReleaseStage(tcb, stage, locks_, held_);
+        break;
       }
-      break;
     }
     // Release requests are satisfied and acknowledged immediately
     // (Section 3.1).
     out_exec_.Send(tcb->exec_id, Encode(tcb, kAck));
     stats_->messages_sent++;
+  }
+
+  // Releases one stage's requests from `locks` (the stage partition's
+  // table under elastic_cc, the thread-local table otherwise), granting
+  // unblocked followers and updating the matching held-lock counter.
+  void ReleaseStage(Tcb* tcb, const Stage& stage, CcLockTable& locks,
+                    std::uint64_t& held) {
+    for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
+      hal::ConsumeCycles(shared_->cc_op_cycles);
+      CcRequest* r = tcb->reqs[i];
+      ORTHRUS_DCHECK(r != nullptr && r->lock != nullptr);
+      Unlink(r);
+      GrantFollowers(r->lock);
+      locks.FreeRequest(r);
+      tcb->reqs[i] = nullptr;
+      ORTHRUS_DCHECK(held > 0);
+      held--;
+    }
   }
 
   [[maybe_unused]] static bool NoConflictAhead(const CcRequest* r) {
@@ -755,21 +1030,37 @@ class CcThread {
   }
 
   // All locks of tcb's current stage are granted: forward along the chain
-  // (Section 3.3) or hand back to the execution thread.
+  // (Section 3.3), continue locally when this thread also owns the next
+  // stage's shard (elastic_cc — a self-addressed message would be pure
+  // overhead), or hand back to the execution thread.
   void Advance(Tcb* tcb) {
-    const int next = tcb->cur_stage + 1;
-    if (next < tcb->n_stages) {
-      if (shared_->forwarding) {
-        tcb->cur_stage = next;
-        out_cc_.Send(tcb->stages[next].cc, Encode(tcb, kAcquire));
-      } else {
+    for (;;) {
+      const int next = tcb->cur_stage + 1;
+      if (next >= tcb->n_stages) {
+        SendGrant(tcb);
+        return;
+      }
+      if (!shared_->forwarding) {
         // Ablation mode: the execution thread mediates every hop, paying
         // two message delays per CC thread (2*Ncc total).
         out_exec_.Send(tcb->exec_id, Encode(tcb, kStageDone));
+        stats_->messages_sent++;
+        return;
+      }
+      tcb->cur_stage = next;
+      const int part = tcb->stages[next].part;
+      if (shared_->elastic_cc) {
+        if (shared_->space->ShardOwner(part) ==
+            static_cast<std::uint64_t>(cc_id_)) {
+          if (AcquireStage(tcb)) continue;  // granted: keep advancing
+          return;  // queued behind a conflict in our own shard
+        }
+        out_cc_.Send(router_->OwnerOf(part), Encode(tcb, kAcquire));
+      } else {
+        out_cc_.Send(part, Encode(tcb, kAcquire));
       }
       stats_->messages_sent++;
-    } else {
-      SendGrant(tcb);
+      return;
     }
   }
 
@@ -783,7 +1074,12 @@ class CcThread {
   SendBuf out_exec_;
   // Elastic-epoch controller state (CC 0 only; null elsewhere).
   ElasticController* controller_;
+  ElasticController2D* controller2d_;
   hal::Cycles epoch_cycles_;
+  // elastic_cc: this thread's cached lock-space view (null otherwise).
+  std::unique_ptr<Router> router_;
+  // adaptive_drain_batch: per-quantum burst depths on the receive side.
+  mp::detail::DrainBatchPolicy drain_est_;
   hal::Cycles next_epoch_ = 0;
   hal::Cycles last_epoch_now_ = 0;
   std::uint64_t last_epoch_committed_ = 0;
@@ -823,6 +1119,11 @@ class ExecThread {
                                           shared->send_stage,
                                           shared->adaptive_flush);
     }
+    if (shared_->elastic_cc) {
+      // Router slots are worker ids: CC threads first, then exec threads.
+      router_ = std::make_unique<Router>(shared->space,
+                                         shared->n_cc + exec_id);
+    }
     tcbs_.resize(max_inflight);
     for (int i = 0; i < max_inflight; ++i) {
       tcbs_[i] = std::make_unique<Tcb>();
@@ -845,9 +1146,15 @@ class ExecThread {
   // drain-to-empty ordering is what guarantees no message is ever lost or
   // stranded across a reallocation epoch.
   void Main() {
-    if (shared_->elastic) shared_->exec_to_cc_multi.RegisterSender();
+    if (shared_->elastic) {
+      shared_->exec_to_cc_multi.RegisterSender();
+      out_cc_multi_->Rebind();
+    }
     hal::IdleBackoff idle(256);
     while (true) {
+      // elastic_cc: adopt the latest lock-space epoch before issuing or
+      // releasing anything this quantum (one modeled load when unchanged).
+      if (shared_->elastic_cc) router_->Refresh();
       bool progress = PollGrants();
       if (!shared_->elastic || shared_->exec_gate.Active(exec_id_)) {
         progress |= IssueNew();
@@ -873,6 +1180,11 @@ class ExecThread {
     }
     ORTHRUS_CHECK_MSG(OutPending() == 0,
                       "exec exiting with staged messages");
+    if (shared_->elastic_cc) {
+      // Drop out of the epoch barriers: a retiring CC thread must not
+      // wait on the observed version of a finished exec thread.
+      router_->Deactivate();
+    }
     if (shared_->elastic) {
       worker_->PublishEpochStats();
       shared_->exec_to_cc_multi.RetireSender();
@@ -924,11 +1236,14 @@ class ExecThread {
     ORTHRUS_CHECK_MSG(OutPending() == 0,
                       "exec parking with staged messages");
     worker_->PublishEpochStats();
+    if (shared_->elastic_cc) router_->Deactivate();
     shared_->exec_to_cc_multi.RetireSender();
     const hal::Cycles parked =
         shared_->exec_gate.Park(exec_id_, [this] { return Stopping(); });
     stats_->Add(TimeCategory::kWaiting, parked);
     shared_->exec_to_cc_multi.RegisterSender();
+    out_cc_multi_->Rebind();
+    if (shared_->elastic_cc) router_->Refresh();
   }
 
   bool PollGrants() {
@@ -951,7 +1266,7 @@ class ExecThread {
               Tcb* tcb = DecodeTcb(w);
               tcb->cur_stage++;
               ORTHRUS_DCHECK(tcb->cur_stage < tcb->n_stages);
-              SendAcquire(tcb, tcb->stages[tcb->cur_stage].cc);
+              SendAcquire(tcb, RouteTo(tcb->stages[tcb->cur_stage].part));
               break;
             }
             case kAck:
@@ -961,8 +1276,17 @@ class ExecThread {
               ORTHRUS_CHECK_MSG(false, "unexpected message at exec thread");
           }
         },
-        shared_->drain_batch, shared_->drain_order);
+        drain_est_.Batch(shared_->adaptive_drain_batch,
+                         shared_->drain_batch),
+        shared_->drain_order);
+    drain_est_.Observe(shared_->adaptive_drain_batch, n);
     return n != 0;
+  }
+
+  // Resolves a lock partition to the CC thread that owns it: identity for
+  // the static lock space, the cached SpaceMap view under elastic_cc.
+  int RouteTo(int part) const {
+    return shared_->elastic_cc ? router_->OwnerOf(part) : part;
   }
 
   bool IssueNew() {
@@ -1009,11 +1333,11 @@ class ExecThread {
               });
     tcb->n_stages = 0;
     for (std::size_t i = 0; i < t.accesses.size(); ++i) {
-      const int cc = part.PartOf(t.accesses[i].key);
-      if (tcb->n_stages == 0 || tcb->stages[tcb->n_stages - 1].cc != cc) {
+      const int p = part.PartOf(t.accesses[i].key);
+      if (tcb->n_stages == 0 || tcb->stages[tcb->n_stages - 1].part != p) {
         ORTHRUS_CHECK(tcb->n_stages < kMaxStages);
         Stage& s = tcb->stages[tcb->n_stages++];
-        s.cc = cc;
+        s.part = p;
         s.begin = static_cast<std::uint16_t>(i);
         s.end = static_cast<std::uint16_t>(i + 1);
       } else {
@@ -1025,7 +1349,7 @@ class ExecThread {
     tcb->cur_stage = 0;
     inflight_++;
     shared_->inflight_global.fetch_add(1);
-    SendAcquire(tcb, tcb->stages[0].cc);
+    SendAcquire(tcb, RouteTo(tcb->stages[0].part));
     stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
   }
 
@@ -1057,9 +1381,12 @@ class ExecThread {
       SendCc(tcb->home_cc, Encode(tcb, kRelease));
       stats_->messages_sent++;
     } else {
+      // One stage-addressed release per stage. Under elastic_cc several
+      // stages may route to the same CC thread; the stage index in the
+      // message keeps every release-ack pair 1:1.
       tcb->pending_acks = tcb->n_stages;
       for (int s = 0; s < tcb->n_stages; ++s) {
-        SendCc(tcb->stages[s].cc, Encode(tcb, kRelease));
+        SendCc(RouteTo(tcb->stages[s].part), EncodeRelease(tcb, s));
         stats_->messages_sent++;
       }
     }
@@ -1104,6 +1431,10 @@ class ExecThread {
   int inflight_ = 0;
   std::uint64_t last_published_committed_ = 0;
   std::uint64_t rr_counter_ = 0;  // shared-CC home assignment
+  // elastic_cc: this thread's cached lock-space view (null otherwise).
+  std::unique_ptr<Router> router_;
+  // adaptive_drain_batch: per-quantum burst depths on the receive side.
+  mp::detail::DrainBatchPolicy drain_est_;
 };
 
 }  // namespace
@@ -1125,6 +1456,20 @@ OrthrusEngine::OrthrusEngine(EngineOptions options, OrthrusOptions orthrus)
     ORTHRUS_CHECK(orthrus_.elastic_epoch_seconds > 0);
     ORTHRUS_CHECK(orthrus_.elastic_step >= 1);
   }
+  if (orthrus_.elastic_cc) {
+    // Elastic CC counts ride on the elastic infrastructure (MPSC mesh,
+    // park gates, epoch controller) and a partitioned lock space.
+    ORTHRUS_CHECK_MSG(orthrus_.elastic, "elastic_cc requires elastic");
+    ORTHRUS_CHECK_MSG(!orthrus_.shared_cc_table,
+                      "elastic_cc partitions the lock space; the shared "
+                      "CC table has no partitions to hand off");
+    ORTHRUS_CHECK_MSG(!orthrus_.split_index,
+                      "split indexes pin storage to a fixed CC count");
+    ORTHRUS_CHECK(orthrus_.elastic_min_cc >= 1);
+    ORTHRUS_CHECK(orthrus_.elastic_min_cc <= orthrus_.num_cc);
+    ORTHRUS_CHECK(orthrus_.cc_partitions == 0 ||
+                  orthrus_.cc_partitions >= orthrus_.num_cc);
+  }
 }
 
 std::string OrthrusEngine::name() const {
@@ -1137,6 +1482,8 @@ std::string OrthrusEngine::name() const {
   if (orthrus_.combined_grants) n += "-cgrant";
   if (orthrus_.shared_cc_table) n += "-sharedcc";
   if (orthrus_.elastic) n += "-elastic";
+  if (orthrus_.elastic_cc) n += "cc";
+  if (orthrus_.adaptive_drain_batch) n += "-adbatch";
   return n;
 }
 
@@ -1144,10 +1491,18 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
                              const workload::Workload& workload) {
   const int n_cc = orthrus_.num_cc;
   const int n_exec = options_.num_cores - n_cc;
+  // Lock partitions: with elastic_cc the lock space is split finer than
+  // the CC population so ownership can rebalance in sub-thread steps; the
+  // static path keeps the historical partition == CC identity.
+  const int n_parts =
+      orthrus_.elastic_cc
+          ? (orthrus_.cc_partitions > 0 ? orthrus_.cc_partitions : 2 * n_cc)
+          : n_cc;
   if (!orthrus_.shared_cc_table) {
-    ORTHRUS_CHECK_MSG(db->partitioner().n == n_cc,
+    ORTHRUS_CHECK_MSG(db->partitioner().n == n_parts,
                       "ORTHRUS needs the database partitioner configured "
-                      "with one partition per CC thread");
+                      "with one partition per lock partition (== CC thread "
+                      "on the static path)");
   }
 
   Shared shared;
@@ -1157,6 +1512,9 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   shared.combined_grants = orthrus_.combined_grants;
   shared.adaptive_flush = orthrus_.adaptive_flush;
   shared.elastic = orthrus_.elastic;
+  shared.elastic_cc = orthrus_.elastic_cc;
+  shared.n_parts = n_parts;
+  shared.adaptive_drain_batch = orthrus_.adaptive_drain_batch;
   shared.cc_op_cycles = orthrus_.cc_op_cycles;
   if (orthrus_.shared_cc_table) {
     shared.shared_cc =
@@ -1165,25 +1523,40 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
 
   // Queue capacities: provable upper bounds on outstanding messages per
   // pair, doubled for slack (Mesh::Send CHECK-fails if these are wrong).
+  //
+  // elastic_cc loosens two of the static bounds. A transaction's stages
+  // are per *partition*, and one CC thread can own many partitions, so a
+  // single (sender, cc) pair may carry up to kMaxStages concurrent
+  // releases per in-flight transaction instead of one; and misrouted
+  // messages transiting the cc->cc mesh during a handoff window add up to
+  // the total outstanding lock-path message count to any one pair.
   const std::size_t inflight = static_cast<std::size_t>(orthrus_.max_inflight);
+  const std::size_t per_txn_msgs =
+      orthrus_.elastic_cc ? static_cast<std::size_t>(kMaxStages) + 1 : 2;
   const std::size_t aq_cap = NextPowerOfTwo(2 * inflight + 4);
-  const std::size_t fq_cap =
-      NextPowerOfTwo(2 * inflight * static_cast<std::size_t>(n_exec) + 4);
-  const std::size_t gq_cap = NextPowerOfTwo(2 * inflight + 4);
+  const std::size_t fq_cap = NextPowerOfTwo(
+      per_txn_msgs * inflight * static_cast<std::size_t>(n_exec) + 4);
+  const std::size_t gq_cap =
+      NextPowerOfTwo(per_txn_msgs * inflight + 4);
   if (orthrus_.elastic) {
     // Shard the dynamic mesh so exec senders do not all serialize on one
-    // reservation index per CC thread. Auto: one shard per sender up to 8
-    // — measured on the hot64 sweep, contention falls off fastest up to 8
-    // shards and extra shards past that only add drain polls.
-    const int shards = orthrus_.elastic_shards > 0
-                           ? orthrus_.elastic_shards
-                           : std::min(n_exec, 8);
-    // A shard's ring is shared by the senders hashing onto it, so its
-    // bound is the static per-pair bound times that population.
+    // reservation index per CC thread. 0 = adaptive: the mesh derives the
+    // ring count from the registered-sender population (capped at 8 — the
+    // same knee the static auto policy used: measured on the hot64 sweep,
+    // contention falls off fastest up to 8 shards and extra shards past
+    // that only add drain polls).
+    const int shards = orthrus_.elastic_shards;
+    // A shard's ring is shared by the senders hashing onto it; with
+    // adaptive sharding the population of one ring is bounded only by the
+    // full sender count, so the bound is the per-sender bound times that.
     const std::size_t senders_per_shard =
-        static_cast<std::size_t>((n_exec + shards - 1) / shards);
+        shards > 0
+            ? static_cast<std::size_t>((n_exec + shards - 1) / shards)
+            : static_cast<std::size_t>(n_exec);
     shared.exec_to_cc_multi.Reset(
-        n_cc, NextPowerOfTwo(2 * inflight * senders_per_shard + 4), shards);
+        n_cc,
+        NextPowerOfTwo(per_txn_msgs * inflight * senders_per_shard + 4),
+        shards);
   } else {
     shared.exec_to_cc.Reset(n_exec, n_cc, aq_cap);
   }
@@ -1211,10 +1584,45 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   // Elastic controller: CC thread 0 runs the reallocation epochs against
   // the exec threads' published commit counters. Constructed only in
   // elastic mode — its config CHECKs must not judge elastic_* knobs that
-  // a non-elastic run never uses.
+  // a non-elastic run never uses. elastic_cc swaps in the 2-D grid
+  // controller and stands up the remappable lock space.
   std::unique_ptr<ElasticController> controller;
+  std::unique_ptr<ElasticController2D> controller2d;
+  lock::HashRing ring(std::max(n_cc, 1));
+  SpaceMap space;
   hal::Cycles epoch_cycles = 0;
   if (orthrus_.elastic) {
+    shared.exec_ctxs.reserve(static_cast<std::size_t>(n_exec));
+    for (int e = 0; e < n_exec; ++e) {
+      shared.exec_ctxs.push_back(&pool.worker(n_cc + e));
+    }
+    epoch_cycles = static_cast<hal::Cycles>(orthrus_.elastic_epoch_seconds *
+                                            platform->CyclesPerSecond());
+    ORTHRUS_CHECK(epoch_cycles > 0);
+  }
+  if (orthrus_.elastic_cc) {
+    ElasticController2D::Config ec;
+    ec.min_cc = orthrus_.elastic_min_cc;
+    ec.max_cc = n_cc;
+    ec.min_exec = orthrus_.elastic_min_exec;
+    ec.max_exec = n_exec;
+    ec.exec_step = orthrus_.elastic_step;
+    ec.initial_exec = orthrus_.elastic_initial_exec;
+    ec.tolerance = orthrus_.elastic_tolerance;
+    controller2d = std::make_unique<ElasticController2D>(ec);
+    const ElasticController2D::Target t0 = controller2d->target();
+    shared.exec_gate.SetTarget(t0.exec);
+    shared.cc_gate.SetTarget(t0.cc);
+    // One router slot per worker (CC threads then exec threads); shards
+    // start under the initial map so the first quantum claims nothing.
+    const std::size_t cc_lock_shard_slots = 1 << 14;
+    space.Reset(n_parts, ring.OwnersFor(n_parts, t0.cc), n_cc + n_exec,
+                [cc_lock_shard_slots](int) {
+                  return std::make_unique<CcShard>(cc_lock_shard_slots);
+                });
+    shared.space = &space;
+    shared.ring = &ring;
+  } else if (orthrus_.elastic) {
     ElasticController::Config ec;
     ec.min_active = orthrus_.elastic_min_exec;
     ec.max_active = n_exec;
@@ -1225,13 +1633,6 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
     ec.tolerance = orthrus_.elastic_tolerance;
     controller = std::make_unique<ElasticController>(ec);
     shared.exec_gate.SetTarget(controller->target());
-    shared.exec_ctxs.reserve(static_cast<std::size_t>(n_exec));
-    for (int e = 0; e < n_exec; ++e) {
-      shared.exec_ctxs.push_back(&pool.worker(n_cc + e));
-    }
-    epoch_cycles = static_cast<hal::Cycles>(orthrus_.elastic_epoch_seconds *
-                                            platform->CyclesPerSecond());
-    ORTHRUS_CHECK(epoch_cycles > 0);
   }
 
   // CC lock tables start small and grow (address-stable) as each partition's
@@ -1243,7 +1644,8 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   for (int c = 0; c < n_cc; ++c) {
     cc_threads.push_back(std::make_unique<CcThread>(
         c, &shared, &pool.worker(c).stats, cc_lock_slots,
-        c == 0 ? controller.get() : nullptr, epoch_cycles));
+        c == 0 ? controller.get() : nullptr,
+        c == 0 ? controller2d.get() : nullptr, epoch_cycles));
   }
   for (int e = 0; e < n_exec; ++e) {
     exec_threads.push_back(std::make_unique<ExecThread>(
@@ -1262,21 +1664,42 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
 
   pool.RunWorkers();
 
-  // Consistency: every queue fully drained, every elastic sender retired.
+  // Consistency: every queue fully drained, every elastic sender retired,
+  // and — across any number of partition handoffs — every lock released
+  // (the shard-resident held counts survive ownership moves exactly).
   ORTHRUS_CHECK(shared.exec_to_cc.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.exec_to_cc_multi.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.cc_to_cc.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.cc_to_exec.SizeRawTotal() == 0);
   ORTHRUS_CHECK(shared.exec_to_cc_multi.ActiveSendersRaw() == 0);
+  if (orthrus_.elastic_cc) {
+    for (int p = 0; p < n_parts; ++p) {
+      ORTHRUS_CHECK_MSG(space.shard(p)->held == 0,
+                        "lock-space shard torn down with locks held");
+      ORTHRUS_CHECK_MSG(space.ShardOwnerRaw(p) <
+                            static_cast<std::uint64_t>(n_cc),
+                        "lock-space shard owned by an invalid CC slot");
+    }
+  }
 
   reallocations_ = shared.reallocations.RawLoad();
-  final_exec_target_ = controller != nullptr ? controller->target() : n_exec;
-  // The controller's hold EWMA is in commits per cycle (rate-normalized
-  // epoch samples); scale to commits per second for reporting.
-  steady_state_throughput_ = controller != nullptr
-                                 ? controller->hold_throughput() *
-                                       platform->CyclesPerSecond()
-                                 : 0.0;
+  cc_reallocations_ = shared.cc_reallocations.RawLoad();
+  if (controller2d != nullptr) {
+    final_exec_target_ = controller2d->target().exec;
+    final_cc_target_ = controller2d->target().cc;
+    steady_state_throughput_ =
+        controller2d->hold_throughput() * platform->CyclesPerSecond();
+  } else {
+    final_exec_target_ =
+        controller != nullptr ? controller->target() : n_exec;
+    final_cc_target_ = n_cc;
+    // The controller's hold EWMA is in commits per cycle (rate-normalized
+    // epoch samples); scale to commits per second for reporting.
+    steady_state_throughput_ = controller != nullptr
+                                   ? controller->hold_throughput() *
+                                         platform->CyclesPerSecond()
+                                   : 0.0;
+  }
 
   return pool.Finalize();
 }

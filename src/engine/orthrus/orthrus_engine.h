@@ -72,6 +72,16 @@ struct OrthrusOptions {
   // event order, so it is opt-in like adaptive_drain.
   bool adaptive_flush = false;
 
+  // Receive-side mirror of adaptive_flush: size each thread's Drain
+  // max_batch from the measured per-quantum burst depth
+  // (mp::detail::BurstEstimator) instead of always popping up to a full
+  // payload line. Shallow steady traffic then publishes the consumer index
+  // after every few messages — senders see queue space sooner, cutting
+  // blocking-send backpressure — while deep bursts grow the batch back to
+  // the full line within a few quanta. Changes delivery granularity, hence
+  // event order, so it is opt-in like adaptive_drain.
+  bool adaptive_drain_batch = false;
+
   // CC->exec grant combining: instead of one word per grant, a CC thread
   // stages the grants produced during one scheduling quantum per exec
   // thread and packs up to 7 of them (as in-flight-window slot ids) into a
@@ -108,11 +118,36 @@ struct OrthrusOptions {
   // Exec threads moved per controller decision.
   int elastic_step = 1;
 
-  // Shards per CC receiver in the dynamic exec->CC mesh; 0 = auto (one
-  // shard per exec sender, capped at 8). More shards cut the
-  // reservation-CAS and tail-publication contention among exec senders at
-  // the cost of more queues for each CC thread to drain.
+  // Shards per CC receiver in the dynamic exec->CC mesh; 0 = adaptive
+  // (mp::MultiMesh derives the ring count from the registered-sender
+  // population, re-sharding future registrations as exec threads park and
+  // resume). More shards cut the reservation-CAS and tail-publication
+  // contention among exec senders at the cost of more queues for each CC
+  // thread to drain.
   int elastic_shards = 0;
+
+  // Elastic CC population (requires elastic=true): lock-space ownership
+  // becomes a runtime-remappable layer (lock::SpaceMap). The lock space is
+  // split into `cc_partitions` consistent-hash partitions, each owned by
+  // one CC slot; the controller becomes the 2-D sweep-and-hold
+  // (engine::ElasticController2D) over (cc_count x exec_count), and CC
+  // threads above the target park on a runtime::ParkGate after handing
+  // their partitions off under the epoch protocol (drain to empty, shard
+  // pointer transfer, map version publication). Off by default; with
+  // elastic_cc=false the engine routes partition == CC id exactly as the
+  // static path always has (byte-identical digests and sim clocks).
+  bool elastic_cc = false;
+
+  // Floor for the active CC-thread count (elastic_cc mode). CC 0 runs the
+  // controller and never parks, so the floor is at least 1.
+  int elastic_min_cc = 1;
+
+  // Lock partitions for elastic_cc mode; 0 = auto (2 * num_cc). More
+  // partitions rebalance in finer steps but split transactions into more
+  // acquisition stages (more messages per commit). The database
+  // partitioner must be configured with this many partitions. Ignored
+  // (and forced to num_cc) when elastic_cc is off.
+  int cc_partitions = 0;
 
   // Relative per-epoch throughput change treated as a plateau.
   double elastic_tolerance = 0.05;
@@ -162,11 +197,19 @@ class OrthrusEngine final : public Engine {
   int final_exec_target() const { return final_exec_target_; }
   double steady_state_throughput() const { return steady_state_throughput_; }
 
+  // elastic_cc observability: CC-population moves (map epochs published)
+  // and the CC target in force when the run ended. Zero / num_cc() when
+  // the engine ran with elastic_cc=false.
+  std::uint64_t cc_reallocations() const { return cc_reallocations_; }
+  int final_cc_target() const { return final_cc_target_; }
+
  private:
   EngineOptions options_;
   OrthrusOptions orthrus_;
   std::uint64_t reallocations_ = 0;
+  std::uint64_t cc_reallocations_ = 0;
   int final_exec_target_ = 0;
+  int final_cc_target_ = 0;
   double steady_state_throughput_ = 0.0;
 };
 

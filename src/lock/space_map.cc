@@ -1,0 +1,60 @@
+#include "lock/space_map.h"
+
+#include <algorithm>
+
+namespace orthrus::lock {
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed, and stable across
+// platforms — ring layouts must reproduce bit-for-bit in every process.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(int max_slots, int replicas) : max_slots_(max_slots) {
+  ORTHRUS_CHECK(max_slots >= 1);
+  ORTHRUS_CHECK(replicas >= 1);
+  points_.reserve(static_cast<std::size_t>(max_slots) * replicas);
+  for (int s = 0; s < max_slots; ++s) {
+    for (int r = 0; r < replicas; ++r) {
+      const std::uint64_t seed =
+          (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint32_t>(r);
+      points_.push_back({Mix64(seed), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int HashRing::OwnerOf(int partition, int active) const {
+  ORTHRUS_CHECK(active >= 1 && active <= max_slots_);
+  const std::uint64_t h =
+      Mix64(0xC0FFEEull ^ static_cast<std::uint64_t>(partition));
+  // First ring point at or after h whose slot is active; wrap around.
+  std::size_t idx =
+      static_cast<std::size_t>(std::lower_bound(points_.begin(), points_.end(),
+                                                Point{h, -1}) -
+                               points_.begin());
+  for (std::size_t n = 0; n < points_.size(); ++n) {
+    const Point& p = points_[(idx + n) % points_.size()];
+    if (p.slot < active) return p.slot;
+  }
+  ORTHRUS_CHECK_MSG(false, "consistent-hash ring has no active slot");
+  return 0;
+}
+
+std::vector<std::uint32_t> HashRing::OwnersFor(int partitions,
+                                               int active) const {
+  std::vector<std::uint32_t> owners(static_cast<std::size_t>(partitions));
+  for (int p = 0; p < partitions; ++p) {
+    owners[static_cast<std::size_t>(p)] =
+        static_cast<std::uint32_t>(OwnerOf(p, active));
+  }
+  return owners;
+}
+
+}  // namespace orthrus::lock

@@ -55,6 +55,12 @@ class MultiMesh {
  public:
   static constexpr std::size_t kDefaultBatch = MpscQueue<T>::kMsgsPerLine;
 
+  // Ring-count ceiling in adaptive mode (shards = 0): the measured knee —
+  // contention falls off fastest up to 8 rings, and rings past the sender
+  // population only add drain polls, which is exactly what the adaptive
+  // policy exists to avoid.
+  static constexpr int kMaxAutoShards = 8;
+
   MultiMesh() = default;
 
   MultiMesh(int receivers, std::size_t capacity, int shards = 1) {
@@ -68,15 +74,29 @@ class MultiMesh {
   // bound on outstanding messages addressed to one receiver *per shard* —
   // across the senders that hash onto that shard, since they share its
   // ring. `shards` rings per receiver (see the sharding note above).
+  //
+  // `shards == 0` selects *adaptive* sharding: kMaxAutoShards rings are
+  // allocated, but the routing modulus follows the registered-sender
+  // population — RegisterSender raises it toward min(kMaxAutoShards,
+  // population), RetireSender lowers it for future registrations. A
+  // sender resolves its ring once per registration (RingForHint), so its
+  // own messages stay FIFO; receivers drain up to the high-water ring
+  // count, which only grows while the mesh is live — a ring that ever
+  // carried a sender may still hold undrained messages. Note the capacity
+  // bound: with an adaptive modulus any ring may in the worst case serve
+  // the whole population, so size `capacity` for all senders on one ring.
   void Reset(int receivers, std::size_t capacity, int shards = 1) {
     ORTHRUS_CHECK(receivers >= 1);
-    ORTHRUS_CHECK(shards >= 1);
+    ORTHRUS_CHECK(shards >= 0);
     active_senders_.RawStore(0);
     registrations_total_.RawStore(0);
-    shards_ = shards;
+    adaptive_ = shards == 0;
+    shards_ = adaptive_ ? kMaxAutoShards : shards;
+    route_shards_.RawStore(adaptive_ ? 1 : static_cast<std::uint64_t>(shards_));
+    drain_shards_.RawStore(adaptive_ ? 1 : static_cast<std::uint64_t>(shards_));
     queues_.clear();
-    queues_.reserve(static_cast<std::size_t>(receivers) * shards);
-    for (int i = 0; i < receivers * shards; ++i) {
+    queues_.reserve(static_cast<std::size_t>(receivers) * shards_);
+    for (int i = 0; i < receivers * shards_; ++i) {
       queues_.push_back(std::make_unique<MpscQueue<T>>(capacity));
     }
   }
@@ -85,6 +105,15 @@ class MultiMesh {
     return static_cast<int>(queues_.size()) / shards_;
   }
   int shards() const { return shards_; }
+  bool adaptive() const { return adaptive_; }
+
+  // Current routing modulus / drain high-water (tests, observability).
+  int RouteShardsRaw() const {
+    return static_cast<int>(route_shards_.RawLoad());
+  }
+  int DrainShardsRaw() const {
+    return static_cast<int>(drain_shards_.RawLoad());
+  }
 
   MpscQueue<T>& at(int receiver, int shard = 0) {
     ORTHRUS_DCHECK(receiver >= 0 && receiver < receivers());
@@ -92,20 +121,35 @@ class MultiMesh {
     return *queues_[static_cast<std::size_t>(receiver) * shards_ + shard];
   }
 
+  // Resolves a stable shard hint to a ring under the *current* routing
+  // modulus (one modeled load). A sender must resolve once per
+  // registration and keep the result until it retires, so its own
+  // messages stay FIFO across re-sharding.
+  int RingForHint(int shard_hint) {
+    return shard_hint % static_cast<int>(route_shards_.load());
+  }
+
   // Blocking send from any thread. Spins (politely) while full;
   // CHECK-fails if the queue stays full long enough that the capacity
-  // bound must have been violated. `shard_hint` is reduced modulo the
-  // shard count; a sender must use one hint for its whole registration so
-  // its own messages stay FIFO.
+  // bound must have been violated. `shard_hint` is reduced by the routing
+  // modulus at call time; on a fixed-shard mesh one hint therefore pins
+  // one ring and the sender's stream stays FIFO. On an *adaptive* mesh
+  // the modulus can move between two Sends (a concurrent register or
+  // retire), splitting a raw sender's stream across rings — so raw Send
+  // there is for tests and single-shot messages only; a FIFO sender must
+  // stage through MultiSendBuffer, which resolves its ring exactly once
+  // per registration (Rebind) as RingForHint's contract requires.
   void Send(int receiver, T value, int shard_hint = 0) {
-    MpscQueue<T>& q = at(receiver, shard_hint % shards_);
+    MpscQueue<T>& q =
+        at(receiver, adaptive_ ? RingForHint(shard_hint)
+                               : shard_hint % shards_);
     detail::WedgeSpin spin;
     while (!q.TryEnqueue(value)) spin.Pause();
   }
 
-  // Drains the receiver's queues (all shards, fixed shard order), invoking
-  // fn(message) on each message in per-shard arrival order. Pops in
-  // batches of up to `max_batch` (clamped to [1, one payload line]).
+  // Drains the receiver's queues (all live shards, fixed shard order),
+  // invoking fn(message) on each message in per-shard arrival order. Pops
+  // in batches of up to `max_batch` (clamped to [1, one payload line]).
   // Returns messages delivered.
   template <typename Fn>
   std::size_t Drain(int receiver, Fn&& fn,
@@ -114,9 +158,11 @@ class MultiMesh {
     std::size_t batch = max_batch < kDefaultBatch ? max_batch : kDefaultBatch;
     if (batch == 0) batch = 1;  // release builds: never wedge a caller that
                                 // loops until progress
+    const int live =
+        adaptive_ ? static_cast<int>(drain_shards_.load()) : shards_;
     T buf[kDefaultBatch];
     std::size_t delivered = 0;
-    for (int s = 0; s < shards_; ++s) {
+    for (int s = 0; s < live; ++s) {
       MpscQueue<T>& q = at(receiver, s);
       std::size_t n;
       while ((n = q.PopBatch(buf, batch)) != 0) {
@@ -136,10 +182,13 @@ class MultiMesh {
   // strand messages invisible to receivers.
 
   // Joins the active sender population. Returns the population size
-  // including this sender.
+  // including this sender. In adaptive mode this is also the re-shard
+  // point: the routing modulus tracks the population.
   int RegisterSender() {
     registrations_total_.fetch_add(1);
-    return static_cast<int>(active_senders_.fetch_add(1)) + 1;
+    const int pop = static_cast<int>(active_senders_.fetch_add(1)) + 1;
+    if (adaptive_) Reshard(pop);
+    return pop;
   }
 
   // Leaves the active sender population. Everything this sender staged
@@ -148,6 +197,7 @@ class MultiMesh {
     const std::uint64_t prev =
         active_senders_.fetch_add(static_cast<std::uint64_t>(-1));
     ORTHRUS_CHECK_MSG(prev > 0, "RetireSender without a matching register");
+    if (adaptive_) Reshard(static_cast<int>(prev) - 1);
   }
 
   // Modeled view of the current population (any thread).
@@ -169,10 +219,28 @@ class MultiMesh {
   }
 
  private:
+  // Adaptive re-shard toward min(kMaxAutoShards, population). Invariant:
+  // the routing modulus never exceeds the drain high-water — a route store
+  // of v is preceded (same thread) by a raise of the high-water to >= v,
+  // and the high-water only grows — so every routable ring is drained.
+  void Reshard(int population) {
+    const std::uint64_t desired = static_cast<std::uint64_t>(
+        population < 1 ? 1
+                       : (population > kMaxAutoShards ? kMaxAutoShards
+                                                      : population));
+    std::uint64_t hw = drain_shards_.load();
+    while (hw < desired && !drain_shards_.compare_exchange(hw, desired)) {
+    }
+    route_shards_.store(desired);
+  }
+
   int shards_ = 1;
+  bool adaptive_ = false;
   std::vector<std::unique_ptr<MpscQueue<T>>> queues_;
   hal::Atomic<std::uint64_t> active_senders_{0};
   hal::Atomic<std::uint64_t> registrations_total_{0};
+  hal::Atomic<std::uint64_t> route_shards_{1};
+  hal::Atomic<std::uint64_t> drain_shards_{1};
 };
 
 }  // namespace orthrus::mp

@@ -90,6 +90,25 @@ class BurstEstimator {
   std::size_t est_ = 0;
 };
 
+// Receive-side batch policy: a BurstEstimator paired with its opt-in
+// flag and fallback, so every consumer sizing its drains adaptively
+// applies the same contract — threshold from the measured burst depth
+// when adaptive (the fallback until the first observation), and only
+// non-empty drains feed the estimate.
+class DrainBatchPolicy {
+ public:
+  std::size_t Batch(bool adaptive, std::size_t fallback) const {
+    return adaptive ? est_.Threshold(fallback) : fallback;
+  }
+  void Observe(bool adaptive, std::size_t delivered) {
+    if (adaptive && delivered != 0) est_.Observe(delivered);
+  }
+  const BurstEstimator& estimator() const { return est_; }
+
+ private:
+  BurstEstimator est_;
+};
+
 // The shared staging engine behind SendBuffer and MultiSendBuffer: the
 // per-receiver staging matrix, flush thresholds (fixed or burst-adaptive),
 // quantum bookkeeping, and the message/publication counters. The derived
@@ -253,15 +272,27 @@ class MultiSendBuffer final
       : detail::SendStaging<T, MultiSendBuffer<T>>(
             mesh->receivers(), stage_capacity, adaptive_flush),
         mesh_(mesh),
-        shard_(shard_hint % mesh->shards()) {}
+        hint_(shard_hint),
+        // Resolve through the routing modulus even at construction: on an
+        // adaptive mesh the raw allocated-ring count (kMaxAutoShards) can
+        // exceed the drain high-water, and a ring above it would strand
+        // anything sent before the first Rebind().
+        shard_(mesh->RingForHint(shard_hint)) {}
 
   int shard() const { return shard_; }
+
+  // Re-resolves the ring for this buffer's hint under the mesh's current
+  // routing modulus. Call right after each RegisterSender on an adaptive
+  // mesh: the modulus tracks the sender population, and the drain-to-empty
+  // retire contract guarantees nothing of ours is left on the old ring.
+  void Rebind() { shard_ = mesh_->RingForHint(hint_); }
 
   MpscQueue<T>& queue(int receiver) { return mesh_->at(receiver, shard_); }
 
  private:
   MultiMesh<T>* mesh_;
-  const int shard_;
+  const int hint_;
+  int shard_;
 };
 
 }  // namespace orthrus::mp

@@ -101,6 +101,53 @@ void LoadTpccDatabase(storage::Database* db, TpccAux* aux,
                  s.max_items_per_order));
   aux->history.assign(rings,
                       std::vector<HistoryRec>(s.order_ring_capacity));
+
+  // Seeded undelivered orders (see TpccScale::seeded_orders): fill ring
+  // slots [1, seeded] of every district with deterministic order content
+  // and advance next_o_id past them; delivered_o_id stays at 1, so
+  // Delivery consumes these load-time orders first.
+  if (s.seeded_orders > 0) {
+    ORTHRUS_CHECK_MSG(s.seeded_orders < s.order_ring_capacity,
+                      "seeded orders must fit the order ring");
+    for (int w = 0; w < w_count; ++w) {
+      for (int d = 0; d < d_count; ++d) {
+        auto* dr = static_cast<DistrictRow*>(db->GetTable(kDistrict)->Lookup(
+            DistrictKey(w, d), part_of(DistrictKey(w, d))));
+        dr->next_o_id = 1 + static_cast<std::uint32_t>(s.seeded_orders);
+        const int ring = aux->DistrictIndex(w, d);
+        for (int o = 1; o <= s.seeded_orders; ++o) {
+          OrderRec& rec =
+              aux->orders[ring][o % s.order_ring_capacity];
+          rec.o_id = static_cast<std::uint32_t>(o);
+          rec.c_id = static_cast<std::uint32_t>(rng.NextU64(c_count));
+          // Clamp to the configured line stride: the ring's line storage
+          // has exactly max_items_per_order slots per order.
+          const std::uint64_t max_lines = static_cast<std::uint64_t>(
+              std::min(15, s.max_items_per_order));
+          rec.ol_cnt = static_cast<std::uint32_t>(
+              rng.NextInRange(std::min<std::uint64_t>(5, max_lines),
+                              max_lines));
+          rec.all_local = 1;
+          rec.total_cents = 0;
+          for (std::uint32_t j = 0; j < rec.ol_cnt; ++j) {
+            OrderLineRec& ol =
+                aux->order_lines[ring]
+                                [static_cast<std::size_t>(
+                                     o % s.order_ring_capacity) *
+                                     s.max_items_per_order +
+                                 j];
+            ol.i_id = static_cast<std::uint32_t>(rng.NextU64(s.items));
+            ol.supply_w = static_cast<std::uint32_t>(w);
+            ol.quantity = static_cast<std::uint32_t>(rng.NextInRange(1, 10));
+            const auto* ir = static_cast<const ItemRow*>(
+                item->Lookup(ItemKey(static_cast<int>(ol.i_id)), 0));
+            ol.amount_cents = ol.quantity * ir->price_cents;
+            rec.total_cents += ol.amount_cents;
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace orthrus::workload::tpcc

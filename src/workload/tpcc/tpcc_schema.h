@@ -54,6 +54,14 @@ struct TpccScale {
   // StockLevel examines the items of this many recent orders (spec: 20;
   // scaled so access sets stay bounded).
   int stock_level_orders = 2;
+  // Undelivered orders pre-loaded into every district's ring (the spec
+  // loads 3000 orders per district, ~900 undelivered). Deliveries then
+  // consume load-deterministic orders instead of racing NewOrder for
+  // whatever committed first, which is what lets Delivery join the
+  // cross-engine equivalence mix: as long as a run's Deliveries per
+  // district stay below this count, the delivered order *contents* (and
+  // so every customer credit) are independent of commit interleaving.
+  int seeded_orders = 0;
 };
 
 // --- Key encoding: warehouse id lives in the high 32 bits so that the

@@ -209,9 +209,14 @@ std::uint64_t TpccWorkload::TotalWarehouseYtd(
 std::uint64_t TpccWorkload::TotalOrdersPlaced(
     const storage::Database& db) const {
   const storage::Table* t = db.GetTable(kDistrict);
+  // Seeded orders advance next_o_id at load time; only the delta beyond
+  // them counts committed NewOrders.
+  const std::uint64_t initial =
+      1 + static_cast<std::uint64_t>(aux_->scale.seeded_orders);
   std::uint64_t sum = 0;
   for (std::uint64_t s = 0; s < t->size(); ++s) {
-    sum += static_cast<const DistrictRow*>(t->RowBySlot(s))->next_o_id - 1;
+    sum += static_cast<const DistrictRow*>(t->RowBySlot(s))->next_o_id -
+           initial;
   }
   return sum;
 }
@@ -285,6 +290,53 @@ std::uint64_t TpccWorkload::CanonicalDigest(
     mix(r->remote_cnt);
   }
   return fnv.digest();
+}
+
+std::uint64_t TpccWorkload::CanonicalRingDigest(
+    const storage::Database& db) const {
+  // Order-id-independent image of the order rings: which o_id a committed
+  // NewOrder drew — hence which slot its record landed in — depends on the
+  // commit interleaving, but the *multiset* of order contents per district
+  // does not. Hash each live order's content (customer, line count,
+  // locality, total, and its order lines) without its o_id or slot, and
+  // combine the per-order hashes with a wrapping sum per district (the
+  // commutative multiset step); district sums then mix in district order.
+  const storage::Table* district = db.GetTable(kDistrict);
+  const int cap = aux_->scale.order_ring_capacity;
+  const int max_items = aux_->scale.max_items_per_order;
+  Fnv1a outer;
+  for (std::uint64_t s = 0; s < district->size(); ++s) {
+    const auto* dr = static_cast<const DistrictRow*>(district->RowBySlot(s));
+    const int ring = static_cast<int>(s);  // district slot order == ring
+    const std::uint32_t next = dr->next_o_id;
+    const std::uint32_t oldest =
+        next > static_cast<std::uint32_t>(cap) ? next - cap : 1;
+    std::uint64_t district_sum = 0;
+    for (std::uint32_t o = oldest; o < next; ++o) {
+      const std::size_t slot = o % static_cast<std::uint32_t>(cap);
+      const OrderRec& rec = aux_->orders[ring][slot];
+      Fnv1a h;
+      h.Mix(rec.c_id);
+      h.Mix(rec.ol_cnt);
+      h.Mix(rec.all_local);
+      h.Mix(rec.total_cents);
+      const std::uint32_t lines = std::min<std::uint32_t>(
+          rec.ol_cnt, static_cast<std::uint32_t>(max_items));
+      for (std::uint32_t j = 0; j < lines; ++j) {
+        const OrderLineRec& ol =
+            aux_->order_lines[ring][slot * static_cast<std::size_t>(
+                                               max_items) +
+                                    j];
+        h.Mix(ol.i_id);
+        h.Mix(ol.supply_w);
+        h.Mix(ol.quantity);
+        h.Mix(ol.amount_cents);
+      }
+      district_sum += h.digest();  // wrapping sum: commutative
+    }
+    outer.Mix(district_sum);
+  }
+  return outer.digest();
 }
 
 }  // namespace orthrus::workload::tpcc

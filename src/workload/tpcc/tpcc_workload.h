@@ -164,6 +164,14 @@ class TpccWorkload final : public Workload {
   // are deliberately excluded: their slot contents depend on commit order.
   std::uint64_t CanonicalDigest(const storage::Database& db) const;
 
+  // Order-id-independent canonical digest of the order rings: the multiset
+  // of live order *contents* per district (commutative per-order hashing;
+  // o_id and slot placement excluded). Interleaving-independent even for
+  // workloads that append to the rings, which is what lets Delivery and
+  // StockLevel join the cross-engine equivalence mix when combined with
+  // TpccScale::seeded_orders (deliveries must consume seeded orders only).
+  std::uint64_t CanonicalRingDigest(const storage::Database& db) const;
+
   static constexpr std::uint64_t kInitialStockQuantity = 1ull << 20;
 
  private:

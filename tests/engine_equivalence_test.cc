@@ -20,6 +20,7 @@
 #include "engine/deadlockfree/deadlockfree_engine.h"
 #include "engine/orthrus/orthrus_engine.h"
 #include "engine/partitioned/partitioned_engine.h"
+#include "engine/sharedcc/sharedcc_engine.h"
 #include "engine/twopl/twopl_engine.h"
 #include "hal/sim_platform.h"
 #include "workload/tpcc/tpcc_workload.h"
@@ -135,14 +136,23 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     outcomes.emplace_back(eng.name(),
                           RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
   }
+  {
+    // The fifth architecture: partition-latched lock shards, no dedicated
+    // CC threads, ordered acquisition — same committed multiset.
+    engine::SharedCcEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(eng.name(),
+                          RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
+  }
   // ORTHRUS variants: every message-passing configuration (forwarding
   // on/off, batched delivery on/off, sender-side coalescing on/off,
-  // adaptive drain order and flush thresholds, combined grants, shared CC
-  // table) must agree with the shared-everything engines. Every case runs
-  // with elastic=false (the OrthrusOptions default), so this whole list is
-  // the pin that the elastic-roles refactor left the static-mesh path
-  // producing the exact static-mesh digest; the separate clock-level pin
-  // is OrthrusRunsAreDeterministic plus the exact message-count tests in
+  // adaptive drain order / flush thresholds / drain batch sizing,
+  // combined grants, shared CC table) must agree with the
+  // shared-everything engines. Every case runs with elastic=false and
+  // elastic_cc=false (the OrthrusOptions defaults), so this whole list is
+  // the pin that the elastic-roles and lock-space-routing refactors left
+  // the static-mesh path producing the exact static-mesh digest; the
+  // separate clock-level pins are OrthrusRunsAreDeterministic plus the
+  // exact message-count tests and the StaticKnobsAreInert clock probe in
   // orthrus_engine_test.
   struct OrthrusCase {
     bool forwarding;
@@ -152,6 +162,7 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     bool coalesced_send = true;
     bool adaptive_flush = false;
     bool combined_grants = false;
+    bool adaptive_drain_batch = false;
   };
   for (const OrthrusCase& c :
        {OrthrusCase{true, true, false}, OrthrusCase{false, true, false},
@@ -160,7 +171,9 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
         OrthrusCase{true, true, false, false, /*coalesced_send=*/false},
         OrthrusCase{true, true, false, false, true, /*adaptive_flush=*/true},
         OrthrusCase{true, true, false, false, true, false,
-                    /*combined_grants=*/true}}) {
+                    /*combined_grants=*/true},
+        OrthrusCase{true, true, false, false, true, false, false,
+                    /*adaptive_drain_batch=*/true}}) {
     engine::OrthrusOptions oo;
     oo.num_cc = kOrthrusCc;
     // One transaction in flight per exec thread: the commit cap is checked
@@ -173,11 +186,34 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     oo.coalesced_send = c.coalesced_send;
     oo.adaptive_flush = c.adaptive_flush;
     oo.combined_grants = c.combined_grants;
-    ORTHRUS_CHECK(!oo.elastic);  // the static-mesh digest pin
+    oo.adaptive_drain_batch = c.adaptive_drain_batch;
+    ORTHRUS_CHECK(!oo.elastic);     // the static-mesh digest pin
+    ORTHRUS_CHECK(!oo.elastic_cc);  // the static lock-space pin
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
     outcomes.emplace_back(eng.name(),
                           RunOne(&eng, &orthrus_aligned,
                                  kOrthrusCc + kExecWorkers, kOrthrusCc));
+  }
+  {
+    // elastic_cc with a pinned CC population (min == max == num_cc, one
+    // partition per CC slot would still remap; a consistent-hash map over
+    // 2x partitions churns ownership only when the cc target moves, which
+    // a pinned range never does): the epoch-routing layer itself must not
+    // change what commits. Digest-comparable, though not clock-pinned —
+    // router refreshes are modeled work the static path does not do.
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    oo.elastic = true;
+    oo.elastic_cc = true;
+    oo.elastic_min_cc = kOrthrusCc;
+    oo.elastic_min_exec = kExecWorkers;  // pinned exec population too
+    oo.elastic_epoch_seconds = 1000.0;   // no controller epoch ever ends
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunOne(&eng, &orthrus_aligned,
+                                 kOrthrusCc + kExecWorkers,
+                                 2 * kOrthrusCc));
   }
 
   const std::uint64_t want_committed = kExecWorkers * kTxnsPerWorker;
@@ -202,7 +238,11 @@ struct TpccOutcome {
   std::uint64_t committed = 0;
   std::uint64_t digest = 0;
   std::uint64_t ring_digest = 0;  // interleaving-dependent; same-engine only
+  std::uint64_t canonical_ring_digest = 0;  // order-id-independent
   std::uint64_t tally_total = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t orders_delivered = 0;
+  std::uint64_t delivered_cents = 0;
 };
 
 // Digest over the order-ring contents the canonical digest excludes:
@@ -239,9 +279,10 @@ workload::tpcc::TpccScale EquivTpccScale() {
   return s;  // default mix: NewOrder/Payment 50/50 (the paper's subset)
 }
 
-TpccOutcome RunTpcc(engine::Engine* eng, int cores, int partitions,
-                    int source_shift) {
-  workload::tpcc::TpccWorkload wl(EquivTpccScale());
+TpccOutcome RunTpccAt(engine::Engine* eng, int cores, int partitions,
+                      int source_shift,
+                      const workload::tpcc::TpccScale& scale) {
+  workload::tpcc::TpccWorkload wl(scale);
   storage::Database db;
   wl.Load(&db, 1);
   db.partitioner().n = partitions;  // mode stays kWarehouseHigh32
@@ -253,8 +294,18 @@ TpccOutcome RunTpcc(engine::Engine* eng, int cores, int partitions,
   out.committed = r.total.committed;
   out.digest = wl.CanonicalDigest(db);
   out.ring_digest = RingDigest(*wl.aux());
-  out.tally_total = tally.neworders + tally.payments;
+  out.canonical_ring_digest = wl.CanonicalRingDigest(db);
+  out.tally_total = tally.neworders + tally.payments + tally.order_statuses +
+                    tally.deliveries + tally.stock_levels;
+  out.deliveries = tally.deliveries;
+  out.orders_delivered = tally.orders_delivered;
+  out.delivered_cents = tally.delivered_cents;
   return out;
+}
+
+TpccOutcome RunTpcc(engine::Engine* eng, int cores, int partitions,
+                    int source_shift) {
+  return RunTpccAt(eng, cores, partitions, source_shift, EquivTpccScale());
 }
 
 TEST(EngineEquivalence, AllEnginesCommitTheSameTpccTransactionSet) {
@@ -273,6 +324,11 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTpccTransactionSet) {
   }
   {
     engine::PartitionedEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(eng.name(),
+                          RunTpcc(&eng, kExecWorkers, kExecWorkers, 0));
+  }
+  {
+    engine::SharedCcEngine eng(Options(kExecWorkers));
     outcomes.emplace_back(eng.name(),
                           RunTpcc(&eng, kExecWorkers, kExecWorkers, 0));
   }
@@ -305,6 +361,71 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTpccTransactionSet) {
     EXPECT_EQ(out.tally_total, want_committed) << name;
     EXPECT_EQ(out.digest, outcomes.front().second.digest)
         << name << " diverged from " << outcomes.front().first;
+  }
+}
+
+// Full five-type mix with seeded undelivered orders: the Delivery and
+// StockLevel extensions join the cross-engine equivalence once (a) the
+// loader seeds more undelivered orders per district than any run can
+// deliver — so the delivered order contents, and with them every customer
+// credit, are load-deterministic rather than a race against NewOrder — and
+// (b) the order rings are compared through the order-id-independent
+// canonical digest (which o_id a NewOrder drew is interleaving-dependent;
+// the multiset of order contents per district is not).
+TEST(EngineEquivalence, FullMixSeededDeliveriesMatchAcrossEngines) {
+  workload::tpcc::TpccScale scale;
+  scale.warehouses = 2;
+  scale.customers_per_district = 60;
+  scale.items = 200;
+  scale.order_ring_capacity = 1024;
+  // Committed deliveries across the whole run are capped by the commit
+  // budget (75), and each consumes at most one order per district — far
+  // below the seeded backlog, so no Delivery ever reaches a runtime order.
+  scale.seeded_orders = 100;
+  scale.mix = workload::tpcc::FullTpccMix();
+
+  std::vector<std::pair<std::string, TpccOutcome>> outcomes;
+  {
+    engine::TwoPlEngine eng(Options(kExecWorkers),
+                            engine::DeadlockPolicyKind::kWaitDie);
+    outcomes.emplace_back(
+        eng.name(), RunTpccAt(&eng, kExecWorkers, kExecWorkers, 0, scale));
+  }
+  {
+    engine::DeadlockFreeEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(
+        eng.name(), RunTpccAt(&eng, kExecWorkers, kExecWorkers, 0, scale));
+  }
+  {
+    engine::SharedCcEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(
+        eng.name(), RunTpccAt(&eng, kExecWorkers, kExecWorkers, 0, scale));
+  }
+  {
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunTpccAt(&eng, kOrthrusCc + kExecWorkers,
+                                    kOrthrusCc, kOrthrusCc, scale));
+  }
+
+  const std::uint64_t want_committed = kExecWorkers * kTxnsPerWorker;
+  const TpccOutcome& first = outcomes.front().second;
+  for (const auto& [name, out] : outcomes) {
+    EXPECT_EQ(out.committed, want_committed) << name;
+    EXPECT_EQ(out.tally_total, want_committed) << name;
+    // Lock-managed tables, customer balances included: identical because
+    // the delivered orders are the load-deterministic seeded prefix.
+    EXPECT_EQ(out.digest, first.digest)
+        << name << " diverged from " << outcomes.front().first;
+    // Order rings, compared order-id-independently.
+    EXPECT_EQ(out.canonical_ring_digest, first.canonical_ring_digest)
+        << name << " ring contents diverged from " << outcomes.front().first;
+    EXPECT_EQ(out.deliveries, first.deliveries) << name;
+    EXPECT_EQ(out.orders_delivered, first.orders_delivered) << name;
+    EXPECT_EQ(out.delivered_cents, first.delivered_cents) << name;
   }
 }
 

@@ -559,6 +559,276 @@ TEST(OrthrusElastic, WorksOnNativeThreads) {
   EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
 }
 
+// --------------------------------------- ElasticController2D (grid)
+
+TEST(ElasticController2D, SweepsTheGridThenHoldsAtTheKnee) {
+  // Synthetic response surface: throughput saturates at cc=2 (more CC
+  // threads buy nothing) and rises with exec up to 4 (over-subscription
+  // degrades past it). The grid sweep probes every point; the hold settles
+  // on the cheapest in-band point — (2, 4).
+  const auto tput = [](int cc, int exec) {
+    const double cc_eff = cc >= 2 ? 1.0 : 0.55;
+    const double e = static_cast<double>(exec);
+    const double exec_curve = e <= 4.0 ? e : 4.0 - 0.4 * (e - 4.0);
+    return cc_eff * exec_curve;
+  };
+  engine::ElasticController2D::Config cfg;
+  cfg.min_cc = 1;
+  cfg.max_cc = 4;
+  cfg.min_exec = 1;
+  cfg.max_exec = 6;
+  cfg.tolerance = 0.03;
+  engine::ElasticController2D c(cfg);
+  EXPECT_EQ(c.target().cc, 4);
+  EXPECT_EQ(c.target().exec, 6);
+  auto target = c.target();
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    target = c.Step(tput(target.cc, target.exec));
+  }
+  EXPECT_EQ(c.phase(), engine::ElasticController2D::Phase::kHold);
+  EXPECT_EQ(c.sweeps_completed(), 1);
+  EXPECT_EQ(target.cc, 2);
+  EXPECT_EQ(target.exec, 4);
+}
+
+TEST(ElasticController2D, FlatSurfaceFreesTheMostThreads) {
+  engine::ElasticController2D::Config cfg;
+  cfg.min_cc = 1;
+  cfg.max_cc = 3;
+  cfg.min_exec = 1;
+  cfg.max_exec = 4;
+  engine::ElasticController2D c(cfg);
+  auto target = c.target();
+  for (int i = 0; i < 20; ++i) target = c.Step(100.0);
+  EXPECT_EQ(c.phase(), engine::ElasticController2D::Phase::kHold);
+  EXPECT_EQ(target.cc, 1);
+  EXPECT_EQ(target.exec, 1);
+}
+
+TEST(ElasticController2D, PersistentDegradationResweepsFromTheCorner) {
+  const auto tput = [](int cc, int exec) {
+    return (cc >= 2 ? 1.0 : 0.5) * static_cast<double>(exec <= 3 ? exec : 3);
+  };
+  engine::ElasticController2D::Config cfg;
+  cfg.min_cc = 1;
+  cfg.max_cc = 3;
+  cfg.min_exec = 1;
+  cfg.max_exec = 4;
+  cfg.tolerance = 0.03;
+  engine::ElasticController2D c(cfg);
+  auto target = c.target();
+  for (int i = 0; i < 20; ++i) target = c.Step(tput(target.cc, target.exec));
+  ASSERT_EQ(c.phase(), engine::ElasticController2D::Phase::kHold);
+  target = c.Step(0.4 * tput(target.cc, target.exec));  // one bad epoch
+  EXPECT_EQ(c.phase(), engine::ElasticController2D::Phase::kHold);
+  target = c.Step(0.4 * tput(target.cc, target.exec));  // two: drift
+  EXPECT_EQ(c.phase(), engine::ElasticController2D::Phase::kSweep);
+  EXPECT_EQ(target.cc, 3);
+  EXPECT_EQ(target.exec, 4);
+}
+
+// --------------------------------------- elastic CC (lock::SpaceMap)
+
+// 2 * num_cc lock partitions: the engine's elastic_cc default, which the
+// database partitioner must agree with.
+KvConfig ElasticCcKv(int num_cc) {
+  KvConfig kv;
+  kv.num_records = 8000;
+  kv.num_partitions = 2 * num_cc;
+  return kv;
+}
+
+TEST(OrthrusElasticCc, ConservesAcrossCcHandoffEpochs) {
+  OrthrusOptions oo;
+  oo.num_cc = 3;
+  oo.elastic = true;
+  oo.elastic_cc = true;
+  oo.elastic_epoch_seconds = 0.0002;
+  KvWorkload wl(ElasticCcKv(3));
+  storage::Database db;
+  wl.Load(&db, 1);
+  OrthrusEngine eng(ElasticRun(8), oo);
+  hal::SimPlatform sim(8);
+  RunResult r = eng.Run(&sim, &db, wl);
+  ASSERT_GT(r.total.committed, 0u);
+  // No lock request lost or duplicated across any partition handoff:
+  // every committed transaction's effects applied exactly once (the
+  // engine additionally CHECKs at teardown that every shard's held-lock
+  // count is zero and every queue drained empty).
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
+  // The 2-D controller actually moved the CC population.
+  EXPECT_GT(eng.cc_reallocations(), 0u);
+  EXPECT_GE(eng.final_cc_target(), 1);
+  EXPECT_LE(eng.final_cc_target(), eng.num_cc());
+  EXPECT_GE(eng.final_exec_target(), 1);
+  EXPECT_LE(eng.final_exec_target(), eng.num_exec());
+}
+
+TEST(OrthrusElasticCc, RunsAreDeterministic) {
+  const auto run = [] {
+    OrthrusOptions oo;
+    oo.num_cc = 2;
+    oo.elastic = true;
+    oo.elastic_cc = true;
+    oo.elastic_epoch_seconds = 0.0002;
+    KvWorkload wl(ElasticCcKv(2));
+    storage::Database db;
+    wl.Load(&db, 1);
+    OrthrusEngine eng(ElasticRun(8), oo);
+    hal::SimPlatform sim(8);
+    RunResult r = eng.Run(&sim, &db, wl);
+    return std::make_tuple(r.total.committed, eng.reallocations(),
+                           eng.cc_reallocations(), sim.GlobalClock());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);  // same commits, same reallocation trace, same clock
+}
+
+TEST(OrthrusElasticCc, MinCcFloorIsRespected) {
+  OrthrusOptions oo;
+  oo.num_cc = 3;
+  oo.elastic = true;
+  oo.elastic_cc = true;
+  oo.elastic_min_cc = 2;
+  oo.elastic_epoch_seconds = 0.0002;
+  KvWorkload wl(ElasticCcKv(3));
+  storage::Database db;
+  wl.Load(&db, 1);
+  OrthrusEngine eng(ElasticRun(8), oo);
+  hal::SimPlatform sim(8);
+  RunResult r = eng.Run(&sim, &db, wl);
+  ASSERT_GT(r.total.committed, 0u);
+  EXPECT_GE(eng.final_cc_target(), 2);
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
+}
+
+TEST(OrthrusElasticCc, ExplicitPartitionCountAndContention) {
+  // Finer partitioning (4x CC) under a hot-key conflict mix: handoffs
+  // interleave with deep grant queues, the worst case for the
+  // drain-to-empty transfer contract.
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.elastic = true;
+  oo.elastic_cc = true;
+  oo.cc_partitions = 8;
+  oo.elastic_epoch_seconds = 0.0002;
+  KvConfig kv;
+  kv.num_records = 8000;
+  kv.hot_records = 16;
+  kv.num_partitions = 8;
+  KvWorkload wl(kv);
+  storage::Database db;
+  wl.Load(&db, 1);
+  OrthrusEngine eng(ElasticRun(8), oo);
+  hal::SimPlatform sim(8);
+  RunResult r = eng.Run(&sim, &db, wl);
+  ASSERT_GT(r.total.committed, 0u);
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
+}
+
+TEST(OrthrusElasticCc, ComposesWithCombinedGrantsAndNoForwarding) {
+  // The two message-protocol variants that interact with stage routing:
+  // packed CC->exec grant words, and exec-mediated (non-forwarded)
+  // acquisition hops. Both must conserve effects across CC handoffs.
+  for (const bool forwarding : {true, false}) {
+    OrthrusOptions oo;
+    oo.num_cc = 2;
+    oo.elastic = true;
+    oo.elastic_cc = true;
+    oo.elastic_epoch_seconds = 0.0002;
+    oo.combined_grants = true;
+    oo.forwarding = forwarding;
+    KvWorkload wl(ElasticCcKv(2));
+    storage::Database db;
+    wl.Load(&db, 1);
+    OrthrusEngine eng(ElasticRun(8), oo);
+    hal::SimPlatform sim(8);
+    RunResult r = eng.Run(&sim, &db, wl);
+    ASSERT_GT(r.total.committed, 0u) << "forwarding=" << forwarding;
+    EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10)
+        << "forwarding=" << forwarding;
+  }
+}
+
+TEST(OrthrusElasticCc, WorksOnNativeThreads) {
+  // The handoff protocol's release/acquire owner-word chain must hold
+  // under true concurrency, not just the cooperative simulator.
+  OrthrusOptions oo;
+  oo.num_cc = 2;
+  oo.elastic = true;
+  oo.elastic_cc = true;
+  oo.elastic_epoch_seconds = 0.0005;
+  KvWorkload wl(ElasticCcKv(2));
+  storage::Database db;
+  wl.Load(&db, 1);
+  engine::EngineOptions o = ElasticRun(6);
+  o.duration_seconds = 0.05;  // wall seconds on the native platform
+  OrthrusEngine eng(o, oo);
+  hal::NativePlatform p(6);
+  RunResult r = eng.Run(&p, &db, wl);
+  EXPECT_GT(r.total.committed, 0u);
+  EXPECT_EQ(wl.SumCounters(db), r.total.committed * 10);
+}
+
+TEST(OrthrusElasticCc, StaticKnobsAreInert) {
+  // The sim-clock probe for the refactor: a run with every elastic_cc
+  // knob at its default must be bit-identical — committed count, digest
+  // inputs, and the global sim clock — to a run constructed with the
+  // knobs spelled out as off. The routing layer must cost the static
+  // path nothing.
+  const auto run = [](bool spell_out) {
+    OrthrusOptions oo;
+    oo.num_cc = 2;
+    oo.max_inflight = 4;
+    if (spell_out) {
+      oo.elastic_cc = false;
+      oo.cc_partitions = 0;
+      oo.elastic_min_cc = 1;
+      oo.adaptive_drain_batch = false;
+    }
+    KvConfig kv;
+    kv.num_records = 4000;
+    kv.hot_records = 16;
+    kv.num_partitions = 2;
+    KvWorkload wl(kv);
+    storage::Database db;
+    wl.Load(&db, 1);
+    OrthrusEngine eng(SmallRun(6), oo);
+    hal::SimPlatform sim(6);
+    RunResult r = eng.Run(&sim, &db, wl);
+    return std::make_pair(r.total.committed, sim.GlobalClock());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(OrthrusAdaptiveDrainBatch, ConservesAndStaysDeterministic) {
+  // Receive-side burst-adaptive batch sizing changes delivery granularity,
+  // never message content: commits and effects conserved, runs repeatable.
+  const auto run = [] {
+    OrthrusOptions oo;
+    oo.num_cc = 2;
+    oo.adaptive_drain_batch = true;
+    KvConfig kv;
+    kv.num_records = 4000;
+    kv.hot_records = 16;
+    kv.num_partitions = 2;
+    KvWorkload wl(kv);
+    storage::Database db;
+    wl.Load(&db, 1);
+    OrthrusEngine eng(SmallRun(6), oo);
+    hal::SimPlatform sim(6);
+    RunResult r = eng.Run(&sim, &db, wl);
+    return std::make_tuple(r.total.committed, wl.SumCounters(db),
+                           sim.GlobalClock());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_GT(std::get<0>(a), 0u);
+  EXPECT_EQ(std::get<1>(a), std::get<0>(a) * 10);
+  EXPECT_EQ(a, b);
+}
+
 TEST(OrthrusElastic, SharedCcTableComposes) {
   // Elastic exec threads over the Section 3.4 shared CC table: the home-CC
   // routing is unaffected by which exec threads are active.
