@@ -14,6 +14,12 @@
 //                         caps the simulated core counts in scaling sweeps
 //                         (0 = no cap); the scaled-down nightly uses this
 //                         to bound wall time.
+//   ORTHRUS_BENCH_JSON_DIR
+//                         when set, each figure driver also writes
+//                         <dir>/BENCH_<figure>.json with one record per
+//                         (series, x) point — throughput and p99 commit
+//                         latency — so the nightly can archive trend data.
+//                         Unset: no filesystem effects.
 #ifndef ORTHRUS_BENCH_COMMON_BENCH_HARNESS_H_
 #define ORTHRUS_BENCH_COMMON_BENCH_HARNESS_H_
 
@@ -117,6 +123,99 @@ inline void PrintRow(const std::string& label,
 
 inline void PrintNote(const std::string& note) {
   std::printf("%s\n", note.c_str());
+}
+
+// --- Machine-readable per-figure output (nightly trend data). ---
+//
+// Drivers call JsonFigure("fig12_ycsb_rmw") once and JsonPoint(...) per
+// data point; the report is written when the process exits. All of it is
+// inert unless ORTHRUS_BENCH_JSON_DIR is set.
+
+struct JsonRecord {
+  std::string series;
+  std::string x;
+  double throughput_txns_per_sec;
+  double p99_commit_latency_us;
+  double abort_rate;
+  std::uint64_t committed;
+  double elapsed_seconds;
+};
+
+class JsonReport {
+ public:
+  static JsonReport& Instance() {
+    static JsonReport r;
+    return r;
+  }
+
+  void SetFigure(const std::string& name) { figure_ = name; }
+
+  void Add(const std::string& series, const std::string& x,
+           const RunResult& r) {
+    if (std::getenv("ORTHRUS_BENCH_JSON_DIR") == nullptr) return;
+    JsonRecord rec;
+    rec.series = series;
+    rec.x = x;
+    rec.throughput_txns_per_sec = r.Throughput();
+    // txn_latency records cycles; SimPlatform's default clock converts to
+    // wall time at SimConfig::ghz. cycles / (ghz * 1e3) = microseconds.
+    rec.p99_commit_latency_us =
+        static_cast<double>(r.total.txn_latency.Percentile(0.99)) /
+        (hal::SimConfig{}.ghz * 1e3);
+    rec.abort_rate = r.AbortRate();
+    rec.committed = r.total.committed;
+    rec.elapsed_seconds = r.elapsed_seconds;
+    records_.push_back(std::move(rec));
+  }
+
+  ~JsonReport() { Write(); }
+
+ private:
+  void Write() {
+    const char* dir = std::getenv("ORTHRUS_BENCH_JSON_DIR");
+    if (dir == nullptr || figure_.empty() || records_.empty()) return;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + figure_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n", figure_.c_str());
+    std::fprintf(f, "  \"paper_scale\": %s,\n",
+                 PaperScale() ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      std::fprintf(f,
+                   "    {\"series\": \"%s\", \"x\": \"%s\", "
+                   "\"throughput_txns_per_sec\": %.1f, "
+                   "\"p99_commit_latency_us\": %.3f, "
+                   "\"abort_rate\": %.6f, "
+                   "\"committed\": %llu, "
+                   "\"elapsed_seconds\": %.6f}%s\n",
+                   r.series.c_str(), r.x.c_str(),
+                   r.throughput_txns_per_sec, r.p99_commit_latency_us,
+                   r.abort_rate,
+                   static_cast<unsigned long long>(r.committed),
+                   r.elapsed_seconds,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::string figure_;
+  std::vector<JsonRecord> records_;
+};
+
+inline void JsonFigure(const std::string& name) {
+  JsonReport::Instance().SetFigure(name);
+}
+
+inline void JsonPoint(const std::string& series, const std::string& x,
+                      const RunResult& r) {
+  JsonReport::Instance().Add(series, x, r);
 }
 
 }  // namespace orthrus::bench

@@ -14,6 +14,7 @@ int main() {
   using namespace orthrus;
   using namespace orthrus::bench;
 
+  JsonFigure("fig01_readonly_2pl");
   const std::vector<int> core_counts = CoreSweep({10, 20, 40, 60, 80});
   std::vector<std::string> xs;
   for (int c : core_counts) xs.push_back(std::to_string(c));
@@ -33,6 +34,7 @@ int main() {
     engine::TwoPlEngine eng(BenchOptions(cores),
                             engine::DeadlockPolicyKind::kDreadlocks);
     RunResult r = RunPoint(&eng, &wl, cores, /*table_partitions=*/1);
+    JsonPoint("two-phase-locking", std::to_string(cores), r);
     tputs.push_back(r.Throughput());
   }
   PrintRow("two-phase-locking", tputs);

@@ -16,11 +16,13 @@ int main() {
   using namespace orthrus;
   using namespace orthrus::bench;
 
+  JsonFigure("fig11_ycsb_readonly");
   const std::vector<int> core_counts = CoreSweep({10, 20, 40, 60, 80});
   std::vector<std::string> xs;
   for (int c : core_counts) xs.push_back(std::to_string(c));
 
   for (bool high : {false, true}) {
+    const std::string tag = high ? "/high" : "/low";
     PrintHeader(std::string("Figure 11: YCSB read-only scalability, ") +
                     (high ? "high" : "low") + " contention",
                 "tput (M/s) @cores", xs);
@@ -43,7 +45,9 @@ int main() {
         engine::OrthrusOptions oo;
         oo.num_cc = n_cc;
         engine::OrthrusEngine eng(BenchOptions(cores), oo);
-        tputs.push_back(RunPoint(&eng, wl.get(), cores, 1).Throughput());
+        RunResult r = RunPoint(&eng, wl.get(), cores, 1);
+        JsonPoint(label + tag, std::to_string(cores), r);
+        tputs.push_back(r.Throughput());
       }
       PrintRow(label, tputs);
     };
@@ -64,7 +68,9 @@ int main() {
         spec.row_bytes = KvRowBytes();
         auto wl = MakeYcsbWorkload(spec);
         engine::DeadlockFreeEngine eng(BenchOptions(cores));
-        tputs.push_back(RunPoint(&eng, wl.get(), cores, 1).Throughput());
+        RunResult r = RunPoint(&eng, wl.get(), cores, 1);
+        JsonPoint("deadlock-free" + tag, std::to_string(cores), r);
+        tputs.push_back(r.Throughput());
       }
       PrintRow("deadlock-free", tputs);
     }
@@ -81,7 +87,9 @@ int main() {
         auto wl = MakeYcsbWorkload(spec);
         engine::TwoPlEngine eng(BenchOptions(cores),
                                 engine::DeadlockPolicyKind::kWaitDie);
-        tputs.push_back(RunPoint(&eng, wl.get(), cores, 1).Throughput());
+        RunResult r = RunPoint(&eng, wl.get(), cores, 1);
+        JsonPoint("2pl-waitdie" + tag, std::to_string(cores), r);
+        tputs.push_back(r.Throughput());
       }
       PrintRow("2pl-waitdie", tputs);
     }

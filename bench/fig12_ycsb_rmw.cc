@@ -16,11 +16,13 @@ int main() {
   using namespace orthrus;
   using namespace orthrus::bench;
 
+  JsonFigure("fig12_ycsb_rmw");
   const std::vector<int> core_counts = CoreSweep({10, 20, 40, 60, 80});
   std::vector<std::string> xs;
   for (int c : core_counts) xs.push_back(std::to_string(c));
 
   for (bool high : {false, true}) {
+    const std::string tag = high ? "/high" : "/low";
     PrintHeader(std::string("Figure 12: YCSB 10RMW scalability, ") +
                     (high ? "high" : "low") + " contention",
                 "tput (M/s) @cores", xs);
@@ -47,7 +49,9 @@ int main() {
         engine::OrthrusOptions oo;
         oo.num_cc = n_cc;
         engine::OrthrusEngine eng(BenchOptions(cores), oo);
-        tputs.push_back(RunPoint(&eng, wl.get(), cores, 1).Throughput());
+        RunResult r = RunPoint(&eng, wl.get(), cores, 1);
+        JsonPoint(label + tag, std::to_string(cores), r);
+        tputs.push_back(r.Throughput());
       }
       PrintRow(label, tputs);
     };
@@ -61,7 +65,9 @@ int main() {
       for (int cores : core_counts) {
         auto wl = MakeYcsbWorkload(ycsb(workload::YcsbPlacement::kRandom, 1));
         engine::DeadlockFreeEngine eng(BenchOptions(cores));
-        tputs.push_back(RunPoint(&eng, wl.get(), cores, 1).Throughput());
+        RunResult r = RunPoint(&eng, wl.get(), cores, 1);
+        JsonPoint("deadlock-free" + tag, std::to_string(cores), r);
+        tputs.push_back(r.Throughput());
       }
       PrintRow("deadlock-free", tputs);
     }
@@ -71,7 +77,9 @@ int main() {
         auto wl = MakeYcsbWorkload(ycsb(workload::YcsbPlacement::kRandom, 1));
         engine::TwoPlEngine eng(BenchOptions(cores),
                                 engine::DeadlockPolicyKind::kWaitDie);
-        tputs.push_back(RunPoint(&eng, wl.get(), cores, 1).Throughput());
+        RunResult r = RunPoint(&eng, wl.get(), cores, 1);
+        JsonPoint("2pl-waitdie" + tag, std::to_string(cores), r);
+        tputs.push_back(r.Throughput());
       }
       PrintRow("2pl-waitdie", tputs);
     }

@@ -12,6 +12,10 @@ void WorkerStats::Merge(const WorkerStats& other) {
   deadlocks += other.deadlocks;
   lock_waits += other.lock_waits;
   messages_sent += other.messages_sent;
+  send_stalls += other.send_stalls;
+  send_stall_cycles += other.send_stall_cycles;
+  wal_fragments += other.wal_fragments;
+  wal_wait_cycles += other.wal_wait_cycles;
   for (int i = 0; i < static_cast<int>(TimeCategory::kCount); ++i) {
     cycles[i] += other.cycles[i];
   }

@@ -31,6 +31,10 @@ struct WorkerStats {
   std::uint64_t deadlocks = 0;      // detected deadlock cycles (graph-based)
   std::uint64_t lock_waits = 0;     // lock requests that had to wait
   std::uint64_t messages_sent = 0;  // ORTHRUS message-passing traffic
+  std::uint64_t send_stalls = 0;    // blocking queue sends that hit a full ring
+  std::uint64_t send_stall_cycles = 0;  // cycles those sends busy-waited
+  std::uint64_t wal_fragments = 0;  // redo-log fragments emitted (wal)
+  std::uint64_t wal_wait_cycles = 0;  // cycles waiting on group commit
   std::uint64_t cycles[static_cast<int>(TimeCategory::kCount)] = {0, 0, 0};
   Histogram txn_latency;  // commit latency in cycles
 

@@ -31,6 +31,10 @@
 #include "txn/txn.h"
 #include "workload/workload.h"
 
+namespace orthrus::wal {
+class GroupCommitLog;  // wal/wal.h; engines only hold the pointer here
+}
+
 namespace orthrus::engine {
 
 struct EngineOptions {
@@ -55,6 +59,22 @@ struct EngineOptions {
   // Optional override of the restart backoff (null = the default capped
   // exponential with deterministic jitter). Not owned.
   const runtime::BackoffPolicy* backoff = nullptr;
+
+  // Durability. Null = off: no logger cores are spawned, no commit path
+  // touches wal state, and runs are byte-identical to a build without the
+  // subsystem. Non-null = a caller-owned group-commit log constructed for
+  // this run (wal::GroupCommitLog(opts, db, n_producers) with n_producers
+  // matching this engine's transaction-running worker count); the engine
+  // spawns `wal->loggers()` extra cores past num_cores for the logger
+  // role, emits redo fragments on every commit, and acknowledges commits
+  // only when their epoch is durable.
+  wal::GroupCommitLog* wal = nullptr;
+
+  // Post-crash resume credit, indexed by transaction-worker id (null =
+  // none): transactions a previous incarnation already made durable. They
+  // count against max_txns_per_worker, and the caller's TxnSource must
+  // skip the same prefix per worker. See wal::RecoveryResult.
+  const std::vector<std::uint64_t>* resume_committed = nullptr;
 };
 
 // Maps the engine-level options onto the runtime layer's driver knobs.
@@ -64,6 +84,7 @@ inline runtime::DriverOptions MakeDriverOptions(const EngineOptions& o,
   d.max_txns_per_worker = o.max_txns_per_worker;
   d.charge_admission = charge_admission;
   d.backoff = o.backoff;
+  d.resume_committed = o.resume_committed;
   return d;
 }
 

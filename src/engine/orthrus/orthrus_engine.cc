@@ -13,6 +13,7 @@
 #include "mp/queue_mesh.h"
 #include "mp/send_buffer.h"
 #include "txn/ollp.h"
+#include "wal/wal.h"
 
 namespace orthrus::engine {
 namespace {
@@ -505,6 +506,10 @@ struct Shared {
 
   hal::Atomic<std::uint64_t> execs_done{0};
   hal::Atomic<std::uint64_t> inflight_global{0};
+
+  // Durability (null = off): each exec thread owns wal producer slot
+  // exec_id; logger workers ride above the CC/exec cores.
+  wal::GroupCommitLog* wal = nullptr;
 
   // Section 3.4 mode: non-null when CC threads share one latched table.
   std::unique_ptr<SharedCcTable> shared_cc;
@@ -1150,11 +1155,23 @@ class ExecThread {
       shared_->exec_to_cc_multi.RegisterSender();
       out_cc_multi_->Rebind();
     }
+    // The wal producer registers with the log's mesh and publishes its
+    // epoch heartbeat from its constructor, so it must be built on-core
+    // (ExecThread itself is constructed before the workers start).
+    std::unique_ptr<wal::Producer> wal_owned;
+    if (shared_->wal != nullptr) {
+      wal_owned =
+          std::make_unique<wal::Producer>(shared_->wal, exec_id_, worker_);
+      wal_ = wal_owned.get();
+    }
     hal::IdleBackoff idle(256);
     while (true) {
       // elastic_cc: adopt the latest lock-space epoch before issuing or
       // releasing anything this quantum (one modeled load when unchanged).
       if (shared_->elastic_cc) router_->Refresh();
+      // Durability quantum maintenance: flush staged fragments, publish
+      // the epoch heartbeat, acknowledge matured group commits.
+      if (wal_ != nullptr) wal_->Poll();
       bool progress = PollGrants();
       if (!shared_->elastic || shared_->exec_gate.Active(exec_id_)) {
         progress |= IssueNew();
@@ -1167,8 +1184,8 @@ class ExecThread {
         idle.Reset();
         continue;
       }
-      if (Stopping() && inflight_ == 0) break;
-      if (shared_->elastic && inflight_ == 0 &&
+      if (Stopping() && inflight_ == 0 && WalDrained()) break;
+      if (shared_->elastic && inflight_ == 0 && WalDrained() &&
           !shared_->exec_gate.Active(exec_id_)) {
         ParkUntilResumedOrStopping();
         idle.Reset();
@@ -1180,6 +1197,7 @@ class ExecThread {
     }
     ORTHRUS_CHECK_MSG(OutPending() == 0,
                       "exec exiting with staged messages");
+    if (wal_ != nullptr) wal_->Retire();
     if (shared_->elastic_cc) {
       // Drop out of the epoch barriers: a retiring CC thread must not
       // wait on the observed version of a finished exec thread.
@@ -1193,7 +1211,19 @@ class ExecThread {
   }
 
  private:
-  bool Stopping() const { return !admission_.Open(); }
+  // With durability on, the commit cap must count every admitted-but-not-
+  // yet-durable transaction: captured commits waiting on group commit
+  // (PendingCount) and admitted transactions still in the lock pipeline
+  // (wal_uncaptured_ — disjoint from the pending queue, which a
+  // transaction only enters at Capture). Without it a capped run would
+  // admit cap-plus-pipeline-depth. Durability off keeps the historical
+  // committed-only gate, bit-identical to pre-wal runs.
+  bool Stopping() const {
+    return !admission_.Open(
+        wal_ != nullptr ? wal_->PendingCount() + wal_uncaptured_ : 0);
+  }
+
+  bool WalDrained() const { return wal_ == nullptr || wal_->Drained(); }
 
   // --- exec->CC send path (static SPSC or elastic MPSC) ----------------
 
@@ -1236,6 +1266,11 @@ class ExecThread {
     ORTHRUS_CHECK_MSG(OutPending() == 0,
                       "exec parking with staged messages");
     worker_->PublishEpochStats();
+    // Park the wal producer first: it flushes its staged fragments,
+    // publishes the done sentinel (so loggers stop waiting on this
+    // thread's epoch heartbeat), and retires from the log mesh. The park
+    // gate only opens with the pending queue drained (see Main).
+    if (wal_ != nullptr) wal_->Park();
     if (shared_->elastic_cc) router_->Deactivate();
     shared_->exec_to_cc_multi.RetireSender();
     const hal::Cycles parked =
@@ -1243,6 +1278,7 @@ class ExecThread {
     stats_->Add(TimeCategory::kWaiting, parked);
     shared_->exec_to_cc_multi.RegisterSender();
     out_cc_multi_->Rebind();
+    if (wal_ != nullptr) wal_->Resume();
     if (shared_->elastic_cc) router_->Refresh();
   }
 
@@ -1292,10 +1328,17 @@ class ExecThread {
   bool IssueNew() {
     bool issued = false;
     while (!free_slots_.empty() && !Stopping()) {
+      // Durability admission gate: every admitted transaction will Capture
+      // into the fragment arena when its grant arrives — regardless of
+      // arena pressure at that moment — so admission reserves a worst-case
+      // fragment footprint for each uncaptured in-flight transaction plus
+      // the one about to be admitted.
+      if (wal_ != nullptr && !wal_->AdmitReady(wal_uncaptured_ + 1)) break;
       const int slot = free_slots_.back();
       free_slots_.pop_back();
       Tcb* tcb = tcbs_[slot].get();
       admission_.Admit(&tcb->txn);  // pull + plan (reconnaissance) + stamp
+      if (wal_ != nullptr) wal_uncaptured_++;
       tcb->replan_pending = false;
       tcb->counted_commit = false;
       Dispatch(tcb);
@@ -1368,8 +1411,17 @@ class ExecThread {
     stats_->Add(TimeCategory::kExecution, hal::Now() - t0);
 
     if (ok) {
-      stats_->committed++;
-      stats_->txn_latency.Record(hal::Now() - t.start_cycles);
+      if (wal_ != nullptr) {
+        // Capture redo images now, while every lock is still held: the
+        // releases below are messages, and the CC threads only drop the
+        // locks when they process them. Commit accounting moves to the
+        // group-commit acknowledgement (Producer::Poll).
+        wal_->Capture(&t, db_);
+        wal_uncaptured_--;
+      } else {
+        stats_->committed++;
+        stats_->txn_latency.Record(hal::Now() - t.start_cycles);
+      }
       tcb->counted_commit = true;
     } else {
       tcb->replan_pending = true;  // stale OLLP estimate: re-plan after acks
@@ -1429,6 +1481,11 @@ class ExecThread {
   std::vector<std::unique_ptr<Tcb>> tcbs_;
   std::vector<int> free_slots_;
   int inflight_ = 0;
+  // Durability (null when off): producer owned by Main's frame — it must
+  // be constructed and destroyed on-core. wal_uncaptured_ counts admitted
+  // transactions that have not reached Capture yet (see IssueNew).
+  wal::Producer* wal_ = nullptr;
+  std::uint64_t wal_uncaptured_ = 0;
   std::uint64_t last_published_committed_ = 0;
   std::uint64_t rr_counter_ = 0;  // shared-CC home assignment
   // elastic_cc: this thread's cached lock-space view (null otherwise).
@@ -1505,9 +1562,27 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
                       "on the static path)");
   }
 
+  // Durability: one wal producer per exec thread (CC threads never commit),
+  // logger workers above the CC/exec cores. Admission reserves a worst-case
+  // arena footprint per in-flight transaction (see ExecThread::IssueNew),
+  // so the arena must fit the whole pipeline or admission wedges shut.
+  const int loggers = options_.wal != nullptr ? options_.wal->loggers() : 0;
+  if (options_.wal != nullptr) {
+    ORTHRUS_CHECK_MSG(options_.wal->n_producers() == n_exec,
+                      "ORTHRUS durability needs one wal producer slot per "
+                      "exec thread (n_producers == num_cores - num_cc)");
+    ORTHRUS_CHECK_MSG(
+        static_cast<std::uint64_t>(options_.wal->options().arena_records) >=
+            (static_cast<std::uint64_t>(orthrus_.max_inflight) + 1) *
+                wal::kMaxTxnFragments,
+        "wal fragment arena too small for the in-flight window: need "
+        "arena_records >= (max_inflight + 1) * kMaxTxnFragments");
+  }
+
   Shared shared;
   shared.n_cc = n_cc;
   shared.n_exec = n_exec;
+  shared.wal = options_.wal;
   shared.forwarding = orthrus_.forwarding;
   shared.combined_grants = orthrus_.combined_grants;
   shared.adaptive_flush = orthrus_.adaptive_flush;
@@ -1570,13 +1645,16 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
     shared.drain_order = mp::DrainOrder::kAdaptive;
   }
 
-  runtime::WorkerPool pool(platform, options_.num_cores,
+  runtime::WorkerPool pool(platform, options_.num_cores + loggers,
                            options_.duration_seconds, options_.rng_seed);
   for (int c = 0; c < n_cc; ++c) {
     pool.AssignRole(c, runtime::WorkerRole::kCc);
   }
   for (int e = 0; e < n_exec; ++e) {
     pool.AssignRole(n_cc + e, runtime::WorkerRole::kExec);
+  }
+  for (int l = 0; l < loggers; ++l) {
+    pool.AssignRole(options_.num_cores + l, runtime::WorkerRole::kLogger);
   }
   const runtime::DriverOptions dopts =
       MakeDriverOptions(options_, /*charge_admission=*/true);
@@ -1661,8 +1739,18 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
     ExecThread* t = exec_threads[e].get();
     pool.Spawn(n_cc + e, [t](runtime::WorkerContext&) { t->Main(); });
   }
+  for (int l = 0; l < loggers; ++l) {
+    pool.Spawn(options_.num_cores + l,
+               [this, l](runtime::WorkerContext& ctx) {
+                 options_.wal->RunLogger(l, &ctx);
+               });
+  }
 
   pool.RunWorkers();
+  if (options_.wal != nullptr) {
+    ORTHRUS_CHECK_MSG(options_.wal->MeshBacklogRaw() == 0,
+                      "wal fragments stranded in the mesh after shutdown");
+  }
 
   // Consistency: every queue fully drained, every elastic sender retired,
   // and — across any number of partition handoffs — every lock released

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "wal/wal.h"
+
 namespace orthrus::engine {
 namespace {
 
@@ -38,6 +40,10 @@ class PartitionedStrategy final : public runtime::ExecutionStrategy {
     const bool ok = t->logic->Run(t, ec);
     st_->Add(TimeCategory::kExecution, hal::Now() - t0);
 
+    // Durability: capture redo images under the partition locks — the
+    // coarse locks cover every row the transaction wrote.
+    if (ok && wal_ != nullptr) wal_->Capture(t, db_);
+
     t0 = hal::Now();
     for (int p : parts_) (*locks_)[p]->Unlock();
     st_->Add(TimeCategory::kLocking, hal::Now() - t0);
@@ -70,21 +76,41 @@ RunResult PartitionedEngine::Run(hal::Platform* platform,
     partition_locks.push_back(std::make_unique<hal::SpinLock>());
   }
 
-  runtime::WorkerPool pool(platform, n, options_.duration_seconds,
+  const int loggers = options_.wal != nullptr ? options_.wal->loggers() : 0;
+  runtime::WorkerPool pool(platform, n + loggers, options_.duration_seconds,
                            options_.rng_seed);
   const runtime::DriverOptions dopts = MakeDriverOptions(options_);
   for (int w = 0; w < n; ++w) {
-    pool.Spawn(w, [db, &workload, &partition_locks,
+    pool.Spawn(w, [this, db, &workload, &partition_locks,
                    &dopts](runtime::WorkerContext& ctx) {
       std::unique_ptr<workload::TxnSource> source =
           workload.MakeSource(ctx.worker_id);
       PartitionedStrategy strategy(&partition_locks, db, &ctx.stats);
       runtime::TxnDriver driver(dopts, db, source.get(), &strategy, &ctx);
+      std::unique_ptr<wal::Producer> producer;
+      if (options_.wal != nullptr) {
+        producer = std::make_unique<wal::Producer>(options_.wal,
+                                                   ctx.worker_id, &ctx);
+        strategy.set_wal(producer.get());
+        driver.set_wal(producer.get());
+      }
       driver.Run();
     });
   }
+  for (int l = 0; l < loggers; ++l) {
+    const int w = n + l;
+    pool.AssignRole(w, runtime::WorkerRole::kLogger);
+    pool.Spawn(w, [this, l](runtime::WorkerContext& ctx) {
+      options_.wal->RunLogger(l, &ctx);
+    });
+  }
 
-  return pool.Run();
+  RunResult result = pool.Run();
+  if (options_.wal != nullptr) {
+    ORTHRUS_CHECK_MSG(options_.wal->MeshBacklogRaw() == 0,
+                      "wal fragments stranded in the mesh after shutdown");
+  }
+  return result;
 }
 
 }  // namespace orthrus::engine

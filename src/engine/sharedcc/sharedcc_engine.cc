@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runtime/txn_driver.h"
+#include "wal/wal.h"
 
 namespace orthrus::engine {
 namespace {
@@ -100,6 +101,9 @@ class SharedCcStrategy final : public runtime::ExecutionStrategy {
     txn::ExecContext ec{db_, stats_, /*charge_cycles=*/true};
     const bool ok = t->logic->Run(t, ec);
     stats_->Add(TimeCategory::kExecution, hal::Now() - t0);
+
+    // Durability: capture redo images while every lock is still held.
+    if (ok && wal_ != nullptr) wal_->Capture(t, db_);
 
     t0 = hal::Now();
     ReleaseAll();
@@ -199,7 +203,8 @@ RunResult SharedCcEngine::Run(hal::Platform* platform, storage::Database* db,
   ORTHRUS_CHECK(n_shards >= 1);
   std::vector<Shard> shards(static_cast<std::size_t>(n_shards));
 
-  runtime::WorkerPool pool(platform, n, options_.duration_seconds,
+  const int loggers = options_.wal != nullptr ? options_.wal->loggers() : 0;
+  runtime::WorkerPool pool(platform, n + loggers, options_.duration_seconds,
                            options_.rng_seed);
   const runtime::DriverOptions dopts = MakeDriverOptions(options_);
   for (int w = 0; w < n; ++w) {
@@ -210,11 +215,30 @@ RunResult SharedCcEngine::Run(hal::Platform* platform, storage::Database* db,
       SharedCcStrategy strategy(&shards, &db->partitioner(), db,
                                 cc_op_cycles_, &ctx.stats);
       runtime::TxnDriver driver(dopts, db, source.get(), &strategy, &ctx);
+      std::unique_ptr<wal::Producer> producer;
+      if (options_.wal != nullptr) {
+        producer = std::make_unique<wal::Producer>(options_.wal,
+                                                   ctx.worker_id, &ctx);
+        strategy.set_wal(producer.get());
+        driver.set_wal(producer.get());
+      }
       driver.Run();
     });
   }
+  for (int l = 0; l < loggers; ++l) {
+    const int w = n + l;
+    pool.AssignRole(w, runtime::WorkerRole::kLogger);
+    pool.Spawn(w, [this, l](runtime::WorkerContext& ctx) {
+      options_.wal->RunLogger(l, &ctx);
+    });
+  }
 
-  return pool.Run();
+  RunResult result = pool.Run();
+  if (options_.wal != nullptr) {
+    ORTHRUS_CHECK_MSG(options_.wal->MeshBacklogRaw() == 0,
+                      "wal fragments stranded in the mesh after shutdown");
+  }
+  return result;
 }
 
 }  // namespace orthrus::engine

@@ -36,12 +36,24 @@ using Cycles = std::uint64_t;
 
 class Platform;
 
+// Sink for blocking-send stall accounting (see mp::detail::WedgeSpin). A
+// worker installs a pointer to its own plain counters; the queue layer adds
+// to them whenever a blocking Send busy-waits on a full ring. Plain memory:
+// each sink belongs to exactly one core.
+struct SpinStallSink {
+  std::uint64_t stalls = 0;   // blocking sends that had to wait
+  Cycles stall_cycles = 0;    // virtual cycles spent waiting
+};
+
 // Identity of the logical core the calling context is running on.
 struct CoreContext {
   Platform* platform = nullptr;
   int core_id = -1;
   // Per-core PCG-style state for spin-loop jitter (see FastJitter).
   std::uint64_t jitter_state = 0x9E3779B97F4A7C15ull;
+  // Optional stall-accounting sink for blocking queue sends (observability
+  // only: installing one never changes modeled costs).
+  SpinStallSink* send_stall_sink = nullptr;
 };
 
 // Returns the current logical core, or nullptr when called from setup code
@@ -64,6 +76,15 @@ struct LineMeta {
   std::int16_t owner = -1;   // core that last wrote the line
   Bitset128 readers;         // cores holding a (possibly shared) copy
   Cycles busy_until = 0;     // line occupied by in-flight atomic RMWs
+};
+
+// Simulator metadata for one durable storage device (a log stream's backing
+// file). Embedded in the owning structure, mirroring LineMeta: a stable-
+// storage sync is modeled as occupancy of the device, so concurrent syncs
+// against one device serialize the way fsyncs on one disk do. Ignored by
+// the native platform (whose "device" is process memory in this repo).
+struct StorageMeta {
+  Cycles busy_until = 0;     // device occupied by in-flight syncs
 };
 
 class Platform {
@@ -98,6 +119,15 @@ class Platform {
   // Charges the coherence cost of an atomic access to `line`. Called by
   // hal::Atomic before performing the underlying operation.
   virtual void OnAtomicAccess(LineMeta* line, MemOp op) = 0;
+
+  // Charges the cost of forcing `bytes` of buffered log data to stable
+  // storage on `device`. The calling core stalls for the sync latency the
+  // same way fsync callers do; the device serializes concurrent syncs. A
+  // no-op on the native platform.
+  virtual void OnStorageSync(StorageMeta* device, std::uint64_t bytes) {
+    (void)device;
+    (void)bytes;
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -117,6 +147,12 @@ inline void CpuRelax() {
 inline Cycles Now() {
   CoreContext* cc = CurrentCore();
   return cc != nullptr ? cc->platform->Now() : 0;
+}
+
+// Declares a stable-storage sync by the current core (no-op off-core).
+inline void OnStorageSync(StorageMeta* device, std::uint64_t bytes) {
+  CoreContext* cc = CurrentCore();
+  if (cc != nullptr) cc->platform->OnStorageSync(device, bytes);
 }
 
 // Id of the calling logical core, or -1 outside any core.

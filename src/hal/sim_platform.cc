@@ -180,4 +180,26 @@ void SimPlatform::OnAtomicAccess(LineMeta* line, MemOp op) {
   }
 }
 
+void SimPlatform::OnStorageSync(StorageMeta* device, std::uint64_t bytes) {
+  ORTHRUS_DCHECK(current_ >= 0);
+  // Syncs are ordering points like atomic accesses: apply in virtual-time
+  // order so device occupancy is charged deterministically.
+  Yield();
+  SimCore& core = cores_[current_];
+  const Cycles t = core.local_now;
+  // The device finishes in-flight syncs first (fsyncs on one log device
+  // serialize), then streams this batch out.
+  const Cycles start = std::max(t, device->busy_until);
+  const Cycles lines = (static_cast<Cycles>(bytes) + 63) / 64;
+  const Cycles service = config_.storage_sync_base_cycles +
+                         config_.storage_sync_line_cycles * lines;
+  device->busy_until = start + service;
+  stats_.storage_syncs++;
+  stats_.storage_sync_bytes += bytes;
+  stats_.storage_stall_cycles += start - t;
+  // The caller blocks until its data is stable — that is the whole point of
+  // a sync, and what group commit amortizes.
+  core.local_now = start + service;
+}
+
 }  // namespace orthrus::hal

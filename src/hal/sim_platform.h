@@ -46,6 +46,14 @@ struct SimConfig {
   // counts (Figure 1).
   Cycles interconnect_service_cycles = 6;
   Cycles relax_cycles = 40;          // one CpuRelax pause
+  // Stable-storage sync model (wal group commit). A sync stalls the caller
+  // for a fixed device latency plus a per-line streaming cost, and occupies
+  // the device for that long — concurrent syncs on one device serialize,
+  // exactly how line transfers occupy the interconnect above. 16K cycles at
+  // 2 GHz is ~8 µs, the right shape for a battery-backed / NVMe log device
+  // (a group commit amortizes it over the whole batch).
+  Cycles storage_sync_base_cycles = 16000;
+  Cycles storage_sync_line_cycles = 4;   // per 64B written since last sync
   std::size_t fiber_stack_bytes = 256 * 1024;
 };
 
@@ -58,6 +66,9 @@ struct SimStats {
   std::uint64_t remote_transfers = 0;
   std::uint64_t rmw_stall_cycles = 0;  // cycles spent waiting on busy lines
   std::uint64_t interconnect_stall_cycles = 0;
+  std::uint64_t storage_syncs = 0;
+  std::uint64_t storage_sync_bytes = 0;
+  std::uint64_t storage_stall_cycles = 0;  // queueing behind a busy device
 };
 
 class SimPlatform final : public Platform {
@@ -75,6 +86,7 @@ class SimPlatform final : public Platform {
   void ConsumeCycles(Cycles n) override;
   void CpuRelax() override;
   void OnAtomicAccess(LineMeta* line, MemOp op) override;
+  void OnStorageSync(StorageMeta* device, std::uint64_t bytes) override;
 
   // Virtual time of the most recently dispatched event.
   Cycles GlobalClock() const { return clock_; }

@@ -217,11 +217,19 @@ class LockSpaceRouter {
   // (the caller then re-examines shard ownership — see the handoff
   // protocol in the header comment).
   bool Refresh() {
-    const std::uint64_t v = map_->version();
+    std::uint64_t v = map_->version();
     if (v == version_) return false;
-    for (int p = 0; p < map_->partitions(); ++p) {
-      owners_[static_cast<std::size_t>(p)] =
-          static_cast<std::uint32_t>(map_->RouteOf(p));
+    // Re-read the version after copying: a publish that lands mid-copy
+    // leaves a torn table (old and new entries mixed) tagged with the old
+    // version, so retry until the copy brackets a stable version.
+    for (;;) {
+      for (int p = 0; p < map_->partitions(); ++p) {
+        owners_[static_cast<std::size_t>(p)] =
+            static_cast<std::uint32_t>(map_->RouteOf(p));
+      }
+      const std::uint64_t check = map_->version();
+      if (check == v) break;
+      v = check;
     }
     version_ = v;
     map_->PublishObserved(slot_, v);

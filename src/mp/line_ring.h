@@ -124,9 +124,23 @@ class WedgeSpin {
     const bool simulated =
         core != nullptr && core->platform->is_simulated();
     bound_ = simulated ? (1ull << 26) : (1ull << 32);
+    sink_ = core != nullptr ? core->send_stall_sink : nullptr;
+  }
+
+  // Stall accounting: a blocking send that had to pause at least once counts
+  // as one stall, and its wait is charged to the core's registered sink so
+  // backpressure is observable (see WorkerStats::send_stalls). Timestamps
+  // are taken lazily — a send that never blocks reads no clock — so an
+  // installed sink changes nothing about modeled costs.
+  ~WedgeSpin() {
+    if (sink_ != nullptr && spins_ > 0) {
+      sink_->stalls++;
+      sink_->stall_cycles += hal::Now() - started_at_;
+    }
   }
 
   void Pause() {
+    if (spins_ == 0 && sink_ != nullptr) started_at_ = hal::Now();
     hal::CpuRelax();
     ORTHRUS_CHECK_MSG(++spins_ < bound_,
                       "message queue wedged: capacity bound violated");
@@ -135,6 +149,8 @@ class WedgeSpin {
  private:
   std::uint64_t bound_ = 1ull << 26;
   std::uint64_t spins_ = 0;
+  hal::Cycles started_at_ = 0;
+  hal::SpinStallSink* sink_ = nullptr;
 };
 
 }  // namespace orthrus::mp::detail

@@ -1,5 +1,7 @@
 #include "runtime/txn_driver.h"
 
+#include "wal/wal.h"
+
 namespace orthrus::runtime {
 
 TxnDriver::TxnDriver(const DriverOptions& options, storage::Database* db,
@@ -13,14 +15,30 @@ TxnDriver::TxnDriver(const DriverOptions& options, storage::Database* db,
 
 void TxnDriver::Run() {
   txn::Txn t;
-  while (admission_.Open()) {
+  while (admission_.Open(wal_ != nullptr ? wal_->PendingCount() : 0)) {
+    if (wal_ != nullptr) {
+      // Quantum maintenance first (flush staged fragments, heartbeat the
+      // epoch, acknowledge matured commits), then the arena gate: Capture
+      // runs under locks and must never block, so admission waits here —
+      // outside any lock — until a whole transaction's fragments fit.
+      wal_->Poll();
+      if (!wal_->AdmitReady()) {
+        hal::CpuRelax();
+        continue;
+      }
+    }
     admission_.Admit(&t);
     bool done = false;
     while (!done) {
       switch (strategy_->TryExecute(&t)) {
         case TxnOutcome::kCommitted:
-          ctx_->stats.committed++;
-          ctx_->stats.txn_latency.Record(hal::Now() - t.start_cycles);
+          // With durability on, the strategy's Capture queued the commit
+          // as pending; it is counted (and latency-stamped) when its epoch
+          // turns durable — see wal::Producer::Poll.
+          if (wal_ == nullptr) {
+            ctx_->stats.committed++;
+            ctx_->stats.txn_latency.Record(hal::Now() - t.start_cycles);
+          }
           done = true;
           break;
         case TxnOutcome::kAbort:
@@ -40,6 +58,17 @@ void TxnDriver::Run() {
           break;
       }
     }
+  }
+  if (wal_ != nullptr) {
+    // Drain the pipeline: every admitted commit must be acknowledged (the
+    // group commit that covers it must complete) before the worker leaves.
+    const hal::Cycles t0 = hal::Now();
+    while (!wal_->Drained()) {
+      wal_->Poll();
+      hal::CpuRelax();
+    }
+    ctx_->stats.wal_wait_cycles += hal::Now() - t0;
+    wal_->Retire();
   }
 }
 

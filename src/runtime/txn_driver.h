@@ -26,6 +26,10 @@
 #include "txn/txn.h"
 #include "workload/workload.h"
 
+namespace orthrus::wal {
+class Producer;  // wal/wal.h; the driver layer never needs the definition
+}
+
 namespace orthrus::runtime {
 
 // Result of one execution attempt. The strategy must return with no locks
@@ -43,6 +47,16 @@ class ExecutionStrategy {
  public:
   virtual ~ExecutionStrategy() = default;
   virtual TxnOutcome TryExecute(txn::Txn* t) = 0;
+
+  // Durability attachment. When set, a strategy must call
+  // wal_->Capture(t, db) after the transaction's logic has succeeded and
+  // *before releasing its exclusive locks* — the capture reads the commit
+  // epoch and bumps per-row versions under those locks. Commit accounting
+  // then moves to the group-commit acknowledgement (see TxnDriver::Run).
+  void set_wal(wal::Producer* w) { wal_ = w; }
+
+ protected:
+  wal::Producer* wal_ = nullptr;
 };
 
 // Restart backoff, configured in one place and ablatable. The default is
@@ -83,6 +97,12 @@ struct DriverOptions {
 
   // Restart backoff; null selects the default capped-jitter policy.
   const BackoffPolicy* backoff = nullptr;
+
+  // Post-crash resume credit, indexed by worker id (null = none). A worker
+  // whose previous incarnation already made `(*resume_committed)[w]`
+  // transactions durable counts them against its commit cap, so a resumed
+  // capped run finishes the remainder instead of re-running the cap.
+  const std::vector<std::uint64_t>* resume_committed = nullptr;
 };
 
 // Admission front end: the deadline/cap gate plus pull-plan-stamp of the
@@ -94,11 +114,30 @@ class TxnAdmission {
                workload::TxnSource* source, WorkerContext* ctx)
       : options_(options), planner_(db), source_(source), ctx_(ctx) {}
 
-  // True while the worker may start another transaction.
-  bool Open() const {
+  // True while the worker may start another transaction. `inflight` is the
+  // caller's count of admitted-but-unacknowledged commits (the wal pending
+  // queue): they count against the cap so a capped durable run admits
+  // exactly the cap, not cap-plus-pipeline-depth.
+  bool Open(std::uint64_t inflight = 0) const {
+    std::uint64_t done = ctx_->stats.committed + inflight;
+    if (options_.resume_committed != nullptr) {
+      done += (*options_.resume_committed)[static_cast<std::size_t>(
+          ctx_->worker_id)];
+    }
     return !ctx_->clock.Expired() &&
            (options_.max_txns_per_worker == 0 ||
-            ctx_->stats.committed < options_.max_txns_per_worker);
+            done < options_.max_txns_per_worker);
+  }
+
+  // Live backpressure signal: blocking-send stalls this worker has hit so
+  // far (folded stats plus the core's live sink — see hal::SpinStallSink).
+  std::uint64_t BackpressureStalls() const {
+    std::uint64_t n = ctx_->stats.send_stalls;
+    const hal::CoreContext* cc = hal::CurrentCore();
+    if (cc != nullptr && cc->send_stall_sink != nullptr) {
+      n += cc->send_stall_sink->stalls;
+    }
+    return n;
   }
 
   // Fills `t` with the next transaction: source pull, OLLP plan, wait-die
@@ -144,12 +183,19 @@ class TxnDriver {
 
   TxnAdmission& admission() { return admission_; }
 
+  // Durability attachment (also set it on the strategy): the driver polls
+  // the producer each iteration, gates admission on arena space and the
+  // pending pipeline, defers commit accounting to the group-commit ack,
+  // and drains + retires the producer before returning.
+  void set_wal(wal::Producer* w) { wal_ = w; }
+
  private:
   TxnAdmission admission_;
   ExecutionStrategy* strategy_;
   WorkerContext* ctx_;
   const BackoffPolicy* backoff_;
   BackoffPolicy default_backoff_;
+  wal::Producer* wal_ = nullptr;
 };
 
 }  // namespace orthrus::runtime

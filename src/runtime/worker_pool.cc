@@ -43,9 +43,18 @@ int WorkerPool::CountRole(WorkerRole role) const {
 void WorkerPool::Spawn(int w, std::function<void(WorkerContext&)> body) {
   WorkerContext* ctx = &workers_[w];
   platform_->Spawn(w, [this, ctx, body = std::move(body)]() {
+    // Stall-accounting sink for blocking queue sends (observability only;
+    // see mp::detail::WedgeSpin). Installed for the body's lifetime and
+    // folded into the worker's plain stats afterward.
+    hal::SpinStallSink sink;
+    hal::CoreContext* core = hal::CurrentCore();
+    if (core != nullptr) core->send_stall_sink = &sink;
     ctx->clock.Begin(duration_seconds_, cps_);
     body(*ctx);
     ctx->clock.Finish();
+    if (core != nullptr) core->send_stall_sink = nullptr;
+    ctx->stats.send_stalls += sink.stalls;
+    ctx->stats.send_stall_cycles += sink.stall_cycles;
   });
 }
 

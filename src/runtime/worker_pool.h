@@ -65,6 +65,7 @@ enum class WorkerRole : std::uint8_t {
   kFlex = 0,
   kCc,
   kExec,
+  kLogger,  // durability: drains redo-log fragments, seals group commits
 };
 
 // Commit/abort counters published at a quantum boundary, for cross-core

@@ -60,6 +60,16 @@ class Table {
   // Probe without the modeled charge (verification / loaders).
   void* LookupRaw(std::uint64_t key, int partition = 0) const;
 
+  // Slot number of a row pointer previously returned by Lookup/Insert/
+  // RowBySlot. Used by the redo log to address rows stably across processes
+  // (pointers die with the process; slots survive into a reloaded slab).
+  std::uint64_t SlotOfRow(const void* row) const {
+    const auto* p = static_cast<const std::uint8_t*>(row);
+    ORTHRUS_DCHECK(p >= rows_.get() &&
+                   p < rows_.get() + capacity_ * row_stride_);
+    return static_cast<std::uint64_t>(p - rows_.get()) / row_stride_;
+  }
+
   // Row address by slot number (append-region style access).
   void* RowBySlot(std::uint64_t slot) {
     ORTHRUS_DCHECK(slot < capacity_);

@@ -1,0 +1,692 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/fnv.h"
+
+namespace orthrus::wal {
+namespace {
+
+// Modeled cost of capturing after-images at commit time: the memcpy into
+// the fragment arena (per 64B line) plus per-fragment bookkeeping.
+constexpr hal::Cycles kCaptureCyclesPerLine = 2;
+constexpr hal::Cycles kFragmentOverheadCycles = 30;
+
+constexpr std::uint32_t kFrameHeaderBytes = 16;  // [len][kind][check]
+
+std::size_t NextPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t FrameCheck(std::uint32_t kind, const std::uint8_t* payload,
+                         std::uint32_t len) {
+  Fnv1a h;
+  h.Mix((static_cast<std::uint64_t>(kind) << 32) | len);
+  for (std::uint32_t i = 0; i < len; i += 8) {
+    std::uint64_t w = 0;
+    const std::uint32_t n = len - i < 8 ? len - i : 8;
+    std::memcpy(&w, payload + i, n);
+    h.Mix(w);
+  }
+  return h.digest();
+}
+
+// --- PartitionLogBuffer ------------------------------------------------
+
+void PartitionLogBuffer::AppendFrame(std::uint32_t kind,
+                                     const std::uint8_t* payload,
+                                     std::uint32_t len) {
+  const std::uint64_t check = FrameCheck(kind, payload, len);
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + kFrameHeaderBytes + len);
+  std::memcpy(bytes_.data() + at, &len, 4);
+  std::memcpy(bytes_.data() + at + 4, &kind, 4);
+  std::memcpy(bytes_.data() + at + 8, &check, 8);
+  std::memcpy(bytes_.data() + at + kFrameHeaderBytes, payload, len);
+}
+
+void PartitionLogBuffer::AppendFragment(const FragmentMsg& frag) {
+  // Payload = disk header + the write-image stream, laid out contiguously.
+  std::uint8_t buf[sizeof(FragmentDiskHeader) + kMaxFragmentPayload];
+  std::memcpy(buf, &frag.hdr, sizeof(FragmentDiskHeader));
+  std::memcpy(buf + sizeof(FragmentDiskHeader), frag.payload,
+              frag.payload_bytes);
+  AppendFrame(kFragmentFrame, buf,
+              static_cast<std::uint32_t>(sizeof(FragmentDiskHeader)) +
+                  frag.payload_bytes);
+}
+
+void PartitionLogBuffer::AppendSeal(std::uint64_t epoch) {
+  AppendFrame(kSealFrame, reinterpret_cast<const std::uint8_t*>(&epoch),
+              sizeof(epoch));
+}
+
+void PartitionLogBuffer::Sync() {
+  const std::uint64_t delta = bytes_.size() - synced_bytes_;
+  hal::OnStorageSync(&device_, delta);
+  synced_bytes_ = bytes_.size();
+  syncs_.push_back(SyncPoint{synced_bytes_, hal::Now()});
+}
+
+std::vector<std::uint8_t> PartitionLogBuffer::CrashImageAt(
+    hal::Cycles t) const {
+  std::uint64_t stable = 0;
+  for (const SyncPoint& s : syncs_) {
+    if (s.completed_at <= t) stable = s.stable_bytes;
+  }
+  return std::vector<std::uint8_t>(bytes_.begin(),
+                                   bytes_.begin() +
+                                       static_cast<std::ptrdiff_t>(stable));
+}
+
+// --- GroupCommitLog ----------------------------------------------------
+
+GroupCommitLog::GroupCommitLog(const DurabilityOptions& opts,
+                               storage::Database* db, int n_producers)
+    : opts_(opts),
+      db_(db),
+      n_producers_(n_producers),
+      partitions_(db->partitioner().n) {
+  ORTHRUS_CHECK(opts_.loggers >= 1);
+  ORTHRUS_CHECK(n_producers_ >= 1);
+  ORTHRUS_CHECK(partitions_ >= 1);
+  // The admission gate reserves kMaxTxnFragments slots per in-flight txn;
+  // the arena must leave room for at least one pipelined transaction.
+  ORTHRUS_CHECK_MSG(opts_.arena_records >= 2 * kMaxTxnFragments,
+                    "wal arena too small for one pipelined transaction");
+  epoch_.RawStore(1);
+  published_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(n_producers_));
+  sealed_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(partitions_));
+  lock::HashRing ring(opts_.loggers);
+  base_owners_ = ring.OwnersFor(partitions_, opts_.loggers);
+  map_.Reset(partitions_, base_owners_, n_producers_ + opts_.loggers,
+             [](int) { return std::make_unique<PartitionLogBuffer>(); });
+  const std::size_t capacity = NextPow2(std::max<std::size_t>(
+      64, static_cast<std::size_t>(n_producers_) *
+              static_cast<std::size_t>(opts_.arena_records)));
+  mesh_.Reset(opts_.loggers, capacity, /*shards=*/1);
+  row_versions_.reserve(db->num_tables());
+  for (std::size_t t = 0; t < db->num_tables(); ++t) {
+    row_versions_.emplace_back(db->GetTable(static_cast<std::uint32_t>(t))
+                                   ->capacity(),
+                               0);
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> GroupCommitLog::FinalImages() {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(static_cast<std::size_t>(partitions_));
+  for (int p = 0; p < partitions_; ++p) out.push_back(map_.shard(p)->bytes());
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> GroupCommitLog::CrashImagesAt(
+    hal::Cycles t) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(static_cast<std::size_t>(partitions_));
+  for (int p = 0; p < partitions_; ++p) {
+    out.push_back(map_.shard(p)->CrashImageAt(t));
+  }
+  return out;
+}
+
+void GroupCommitLog::RunLogger(int logger_index, runtime::WorkerContext* ctx) {
+  (void)ctx;
+  hal::Platform* pf = hal::CurrentCore()->platform;
+  const hal::Cycles interval = std::max<hal::Cycles>(
+      1, static_cast<hal::Cycles>(opts_.group_commit_seconds *
+                                  pf->CyclesPerSecond()));
+  const std::uint64_t me = static_cast<std::uint64_t>(logger_index);
+  lock::LockSpaceRouter<PartitionLogBuffer> router(
+      &map_, n_producers_ + logger_index);
+  router.Refresh();
+
+  // Fragments that arrived for partitions this logger does not (yet) own:
+  // routed under a newer table than the shard-owner handoff has caught up
+  // with. Held until acquisition; the seal protocol guarantees their
+  // epochs stay above every seal the old owner can still issue, so the
+  // arena slots behind these pointers cannot be recycled underneath us.
+  std::vector<std::vector<const FragmentMsg*>> stash(
+      static_cast<std::size_t>(partitions_));
+  std::size_t stashed_total = 0;
+
+  // Partitions we own but the published table routes elsewhere: sealing is
+  // frozen (a seal now could miss fragments already routed to the new
+  // owner); relinquished once every router observed the new table and one
+  // further drain has emptied anything still routed here.
+  std::vector<char> leaving(static_cast<std::size_t>(partitions_), 0);
+  int leaving_count = 0;
+  std::uint64_t barrier_version = 0;
+
+  std::uint64_t rebalance_shift = 0;
+  std::uint64_t last_rebalance_epoch = 0;
+  std::uint64_t last_durable = 0;
+  hal::Cycles next_epoch_at = hal::Now() + interval;
+  hal::IdleBackoff idle(4096);
+
+  for (;;) {
+    bool progress = false;
+    const std::uint64_t retired = retired_.load();
+
+    // 1. Epoch clock (logger 0 only). Rebalances ride epoch boundaries.
+    // The clock freezes once every producer has permanently retired: a
+    // producer only retires with its pending queue drained, so everything
+    // it ever captured is already sealed and durable — further epochs
+    // would only keep the shutdown condition below from ever holding.
+    if (logger_index == 0 &&
+        retired != static_cast<std::uint64_t>(n_producers_)) {
+      const hal::Cycles now = hal::Now();
+      if (now >= next_epoch_at) {
+        const std::uint64_t e = epoch_.fetch_add(1) + 1;
+        next_epoch_at = now + interval;
+        progress = true;
+        // Rotate only once the previous handoff chain has fully settled:
+        // every shard-owner word equals the routed table. A rotation
+        // published mid-handoff can route a partition away from an
+        // incoming owner that never acquired it, stranding its stashed
+        // fragments at a logger the old table will never hand the shard
+        // to — the seal then misses those fragments and their arena slots
+        // recycle underneath the stash. Not yet settled = retry at the
+        // next epoch tick.
+        bool due = opts_.rebalance_epochs != 0 &&
+                   e - last_rebalance_epoch >= opts_.rebalance_epochs;
+        for (int p = 0; due && p < partitions_; ++p) {
+          due = map_.ShardOwner(p) == map_.RouteOf(p);
+        }
+        if (due) {
+          last_rebalance_epoch = e;
+          ++rebalance_shift;
+          std::vector<std::uint32_t> owners(base_owners_);
+          for (std::uint32_t& o : owners) {
+            o = static_cast<std::uint32_t>(
+                (o + rebalance_shift) %
+                static_cast<std::uint64_t>(opts_.loggers));
+          }
+          map_.Publish(owners);
+        }
+      }
+    }
+
+    // 2. Routing refresh + owner/route reconciliation. The scan runs every
+    // iteration, not just when Refresh reports a version change: a logger
+    // whose thread starts after a publish imports the new table with its
+    // first Refresh and never sees a transition, and a barrier can complete
+    // around a not-yet-started logger (its router slot is still inactive).
+    // Either way this logger can find itself owning a partition the current
+    // table routes elsewhere without ever witnessing the version move —
+    // sealing such a partition would miss fragments already routed to its
+    // new home, and never relinquishing it wedges that home's stash forever.
+    router.Refresh();
+    for (int p = 0; p < partitions_; ++p) {
+      const bool mine = map_.ShardOwner(p) == me;
+      const bool still_mine =
+          static_cast<std::uint64_t>(router.OwnerOf(p)) == me;
+      if (mine && !still_mine && !leaving[p]) {
+        leaving[p] = 1;
+        ++leaving_count;
+        barrier_version = router.version();
+      } else if (mine && still_mine && leaving[p]) {
+        leaving[p] = 0;  // routed back before the handoff completed
+        --leaving_count;
+      }
+    }
+
+    // 3. Seal candidate, read BEFORE draining: every producer flushes its
+    // staged fragments before publishing an epoch, so once we have read
+    // published epochs, a drain is guaranteed to surface every fragment
+    // with epoch <= candidate that is routed to us. Producers that parked
+    // or retired publish the done sentinel and bound nothing; the current
+    // epoch minus one bounds everyone (a resuming producer publishes
+    // before it captures, and the publish-then-capture order makes the
+    // bound sound — see Producer::Resume).
+    const std::uint64_t e_now = epoch_.load();
+    std::uint64_t candidate = e_now - 1;
+    for (int i = 0; i < n_producers_; ++i) {
+      const std::uint64_t pub = published_[i].load();
+      const std::uint64_t lim =
+          pub == kDonePublished ? e_now - 1 : (pub == 0 ? 0 : pub - 1);
+      candidate = std::min(candidate, lim);
+    }
+
+    // 3b. Handoff barrier, checked before the drain so the subsequent
+    // relinquish provably follows a drain that ran with no stale-routed
+    // sender left: anything routed here under the old table is already in
+    // our ring and this quantum's drain appends it.
+    const bool barrier_ok =
+        leaving_count != 0 && map_.AllObservedAtLeast(barrier_version);
+
+    // 4. Drain fragments: append to owned streams, stash the rest.
+    const std::size_t drained = mesh_.Drain(logger_index, [&](std::uint64_t v) {
+      const auto* f = reinterpret_cast<const FragmentMsg*>(v);
+      const int p = static_cast<int>(f->hdr.partition);
+      ORTHRUS_DCHECK(p >= 0 && p < partitions_);
+      if (map_.ShardOwner(p) == me) {
+        map_.shard(p)->AppendFragment(*f);
+      } else {
+        stash[static_cast<std::size_t>(p)].push_back(f);
+        ++stashed_total;
+      }
+    });
+    if (drained != 0) progress = true;
+
+    // 5. Apply stashes for partitions we have (since) acquired.
+    if (stashed_total != 0) {
+      for (int p = 0; p < partitions_; ++p) {
+        auto& s = stash[static_cast<std::size_t>(p)];
+        if (s.empty() || map_.ShardOwner(p) != me) continue;
+        for (const FragmentMsg* f : s) map_.shard(p)->AppendFragment(*f);
+        stashed_total -= s.size();
+        s.clear();
+        progress = true;
+      }
+    }
+
+    // 6. Complete handoffs: everything routed here under the old table has
+    // been appended (barrier + this drain), so the streams can change
+    // hands. The release-store publishes every appended byte to the new
+    // owner.
+    if (barrier_ok) {
+      for (int p = 0; p < partitions_; ++p) {
+        if (!leaving[p]) continue;
+        map_.Relinquish(p, static_cast<std::uint64_t>(router.OwnerOf(p)));
+        leaving[p] = 0;
+        --leaving_count;
+        progress = true;
+      }
+    }
+
+    // 7. Seal owned streams at the candidate. The version re-check closes
+    // the window between a table publish and our next Refresh: if the map
+    // moved since we cached our view, a fragment with epoch <= candidate
+    // could already be routed to the new owner, so we skip sealing this
+    // quantum (the refresh above picks it up next time). Candidate was
+    // computed before this check — see the handoff proof in wal.h.
+    if (map_.version() == router.version()) {
+      for (int p = 0; p < partitions_; ++p) {
+        if (leaving[p] || map_.ShardOwner(p) != me) continue;
+        PartitionLogBuffer* shard = map_.shard(p);
+        if (candidate > shard->last_sealed) {
+          shard->AppendSeal(candidate);
+          shard->Sync();
+          shard->last_sealed = candidate;
+          sealed_[p].store(candidate);
+          progress = true;
+        }
+      }
+    }
+
+    // 8. Global durable epoch (logger 0): the minimum sealed epoch across
+    // all partition streams — an epoch is durable only when every stream
+    // that could hold one of its fragments has sealed past it.
+    if (logger_index == 0) {
+      std::uint64_t durable = ~0ull;
+      for (int p = 0; p < partitions_; ++p) {
+        durable = std::min(durable, sealed_[p].load());
+      }
+      if (durable != 0 && durable != ~0ull && durable != last_durable) {
+        durable_epoch_.store(durable);
+        last_durable = durable;
+        progress = true;
+      }
+    }
+
+    // 9. Shutdown: all producers permanently retired (their pending
+    // commits matured, which implies every fragment is sealed), nothing
+    // drained, no stash, no handoff in flight.
+    if (!progress && stashed_total == 0 && leaving_count == 0 &&
+        retired == static_cast<std::uint64_t>(n_producers_)) {
+      break;
+    }
+
+    if (progress) {
+      idle.Reset();
+      hal::CpuRelax();
+    } else {
+      idle.Idle();
+    }
+  }
+
+  // Drop out of handoff barriers before exiting: a rotation published just
+  // before the last producer retired can reach a peer logger *after* this
+  // one's final Refresh, and that peer's relinquish barrier waits on every
+  // router — an exited logger that still pins its last observed version
+  // would wedge the peer forever.
+  router.Deactivate();
+}
+
+// --- Producer ----------------------------------------------------------
+
+Producer::Producer(GroupCommitLog* log, int producer_id,
+                   runtime::WorkerContext* ctx)
+    : log_(log),
+      id_(producer_id),
+      ctx_(ctx),
+      arena_records_(log->opts_.arena_records),
+      router_(&log->map_, producer_id),
+      out_(&log->mesh_, /*shard_hint=*/producer_id),
+      arena_(std::make_unique<FragmentMsg[]>(
+          static_cast<std::size_t>(log->opts_.arena_records))) {
+  ORTHRUS_CHECK(producer_id >= 0 && producer_id < log->n_producers_);
+  Resume();
+}
+
+Producer::~Producer() {
+  ORTHRUS_CHECK_MSG(retired_, "wal producer destroyed without Retire()");
+}
+
+FragmentMsg* Producer::AllocSlot() {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (int i = 0; i < arena_records_; ++i) {
+      const int idx = (alloc_cursor_ + i) % arena_records_;
+      FragmentMsg& f = arena_[static_cast<std::size_t>(idx)];
+      // epoch 0 = never used; otherwise the slot is free once its epoch is
+      // durable (the logger consumed and sealed it before granting that).
+      if (f.hdr.epoch <= durable_cache_) {
+        alloc_cursor_ = (idx + 1) % arena_records_;
+        return &f;
+      }
+    }
+    durable_cache_ = log_->durable_epoch_.load();
+  }
+  ORTHRUS_CHECK_MSG(false,
+                    "wal fragment arena exhausted: AdmitReady gate violated");
+  return nullptr;
+}
+
+void Producer::Capture(txn::Txn* t, storage::Database* db) {
+  ORTHRUS_CHECK(active_);
+  // The commit epoch, read while the transaction still holds its exclusive
+  // locks: any dependent transaction acquires later and reads a later (or
+  // equal) epoch, so epoch order respects dependency order.
+  const std::uint64_t epoch = log_->epoch_.load();
+  const storage::Partitioner& parts = db->partitioner();
+
+  std::uint32_t writes_total = 0;
+  for (const txn::Access& a : t->accesses) {
+    if (a.mode == txn::LockMode::kExclusive) ++writes_total;
+  }
+
+  int nparts = 0;
+  std::uint32_t plist[kMaxTxnFragments];
+  FragmentMsg* frags[kMaxTxnFragments];
+  hal::Cycles copy_cost = 0;
+
+  for (const txn::Access& a : t->accesses) {
+    if (a.mode != txn::LockMode::kExclusive) continue;
+    const std::uint32_t p = static_cast<std::uint32_t>(parts.PartOf(a.key));
+    int fi = -1;
+    for (int i = 0; i < nparts; ++i) {
+      if (plist[i] == p) {
+        fi = i;
+        break;
+      }
+    }
+    if (fi < 0) {
+      ORTHRUS_CHECK(nparts < kMaxTxnFragments);
+      fi = nparts++;
+      plist[fi] = p;
+      FragmentMsg* f = AllocSlot();
+      f->hdr = FragmentDiskHeader{epoch,
+                                  next_seq_,
+                                  static_cast<std::uint32_t>(id_),
+                                  p,
+                                  writes_total,
+                                  0};
+      f->payload_bytes = 0;
+      frags[fi] = f;
+    }
+    FragmentMsg* f = frags[fi];
+    storage::Table* tbl = db->GetTable(a.table);
+    const std::uint32_t len = tbl->row_bytes();
+    const std::uint64_t slot = tbl->SlotOfRow(a.row);
+    // Per-row version under the row's X lock: recovery replays
+    // max-version-wins, which makes cross-fragment arrival order moot.
+    std::uint64_t& ver = log_->row_versions_[a.table][slot];
+    ++ver;
+    const WriteImageHeader wh{a.table, len, slot, ver};
+    const std::uint32_t padded = (len + 7u) & ~7u;
+    ORTHRUS_CHECK_MSG(
+        f->payload_bytes + sizeof(wh) + padded <= kMaxFragmentPayload,
+        "wal fragment payload overflow: enlarge kMaxFragmentPayload");
+    std::memcpy(f->payload + f->payload_bytes, &wh, sizeof(wh));
+    std::uint8_t* img = f->payload + f->payload_bytes + sizeof(wh);
+    if (padded != len) std::memset(img + len, 0, padded - len);
+    std::memcpy(img, a.row, len);
+    f->payload_bytes += static_cast<std::uint32_t>(sizeof(wh)) + padded;
+    f->hdr.n_writes++;
+    copy_cost += kCaptureCyclesPerLine * ((len + 63) / 64);
+  }
+
+  if (nparts == 0) {
+    // Read-only commit: an empty fragment keeps this producer's durable
+    // prefix dense, so recovery's per-producer counts (the resume credit)
+    // see every commit, not just the writing ones.
+    FragmentMsg* f = AllocSlot();
+    const std::uint32_t p =
+        t->accesses.empty()
+            ? 0
+            : static_cast<std::uint32_t>(parts.PartOf(t->accesses[0].key));
+    f->hdr = FragmentDiskHeader{
+        epoch, next_seq_, static_cast<std::uint32_t>(id_), p, 0, 0};
+    f->payload_bytes = 0;
+    plist[0] = p;
+    frags[0] = f;
+    nparts = 1;
+  }
+
+  for (int i = 0; i < nparts; ++i) {
+    out_.Send(router_.OwnerOf(static_cast<int>(plist[i])),
+              reinterpret_cast<std::uint64_t>(frags[i]));
+    ctx_->stats.wal_fragments++;
+  }
+  outstanding_ += static_cast<std::uint64_t>(nparts);
+  pending_.push_back(PendingCommit{epoch, t->start_cycles,
+                                   static_cast<std::uint32_t>(nparts)});
+  next_seq_++;
+  hal::ConsumeCycles(copy_cost +
+                     kFragmentOverheadCycles *
+                         static_cast<hal::Cycles>(nparts));
+}
+
+void Producer::Mature() {
+  if (pending_.empty()) return;
+  durable_cache_ = log_->durable_epoch_.load();
+  const hal::Cycles now = hal::Now();
+  while (!pending_.empty() && pending_.front().epoch <= durable_cache_) {
+    ctx_->stats.committed++;
+    ctx_->stats.txn_latency.Record(now - pending_.front().start);
+    outstanding_ -= pending_.front().fragments;
+    pending_.pop_front();
+  }
+}
+
+void Producer::Poll() {
+  ORTHRUS_CHECK(active_);
+  router_.Refresh();
+  // Flush BEFORE publishing: the published epoch is the logger's proof
+  // that every fragment of earlier epochs is already visible in its ring.
+  out_.FlushAll();
+  log_->published_[id_].store(log_->epoch_.load());
+  Mature();
+}
+
+void Producer::Park() {
+  ORTHRUS_CHECK(active_);
+  ORTHRUS_CHECK_MSG(pending_.empty(), "wal Park with commits in flight");
+  out_.FlushAll();
+  ORTHRUS_CHECK(out_.Pending() == 0);
+  log_->published_[id_].store(GroupCommitLog::kDonePublished);
+  log_->mesh_.RetireSender();
+  router_.Deactivate();
+  active_ = false;
+}
+
+void Producer::Resume() {
+  ORTHRUS_CHECK(!active_ && !retired_);
+  log_->mesh_.RegisterSender();
+  out_.Rebind();
+  router_.Refresh();
+  // Publish before any capture: the seal candidate is bounded by the
+  // current epoch minus one only because a producer that can emit a
+  // fragment at epoch e has published a value <= e beforehand.
+  log_->published_[id_].store(log_->epoch_.load());
+  active_ = true;
+}
+
+void Producer::Retire() {
+  ORTHRUS_CHECK_MSG(pending_.empty(), "wal Retire with commits in flight");
+  ORTHRUS_CHECK(!retired_);
+  if (active_) Park();
+  retired_ = true;
+  log_->retired_.fetch_add(1);
+}
+
+// --- Recovery ----------------------------------------------------------
+
+namespace {
+
+struct TxnAccumulator {
+  std::uint64_t epoch = 0;
+  std::uint32_t writes_total = 0;
+  std::uint32_t writes_seen = 0;
+};
+
+}  // namespace
+
+RecoveryResult Recover(const std::vector<std::vector<std::uint8_t>>& logs,
+                       int n_producers, storage::Database* db) {
+  RecoveryResult r;
+  r.durable_per_producer.assign(static_cast<std::size_t>(n_producers), 0);
+
+  // Pass 1: frame validation (torn tails truncate at the first bad frame)
+  // and the durable epoch: min over partitions of the largest sealed epoch.
+  std::vector<std::size_t> valid_bytes(logs.size(), 0);
+  std::uint64_t durable = ~0ull;
+  for (std::size_t p = 0; p < logs.size(); ++p) {
+    const std::vector<std::uint8_t>& log = logs[p];
+    std::uint64_t sealed = 0;
+    std::size_t off = 0;
+    while (off + kFrameHeaderBytes <= log.size()) {
+      std::uint32_t len = 0;
+      std::uint32_t kind = 0;
+      std::uint64_t check = 0;
+      std::memcpy(&len, log.data() + off, 4);
+      std::memcpy(&kind, log.data() + off + 4, 4);
+      std::memcpy(&check, log.data() + off + 8, 8);
+      if ((kind != kFragmentFrame && kind != kSealFrame) ||
+          off + kFrameHeaderBytes + len > log.size() ||
+          FrameCheck(kind, log.data() + off + kFrameHeaderBytes, len) !=
+              check) {
+        break;  // torn or corrupt: discard this frame and everything after
+      }
+      if (kind == kSealFrame && len == sizeof(std::uint64_t)) {
+        std::uint64_t e = 0;
+        std::memcpy(&e, log.data() + off + kFrameHeaderBytes, 8);
+        sealed = std::max(sealed, e);
+      }
+      off += kFrameHeaderBytes + len;
+    }
+    valid_bytes[p] = off;
+    if (off < log.size()) r.frames_dropped++;
+    durable = std::min(durable, sealed);
+  }
+  if (logs.empty() || durable == ~0ull) durable = 0;
+  r.durable_epoch = durable;
+
+  // Pass 2: replay fragments with epoch <= durable, max-version-wins, and
+  // account per-producer durable prefixes.
+  std::vector<std::vector<std::uint64_t>> applied(db->num_tables());
+  for (std::size_t t = 0; t < db->num_tables(); ++t) {
+    applied[t].assign(
+        db->GetTable(static_cast<std::uint32_t>(t))->capacity(), 0);
+  }
+  std::map<std::pair<std::uint32_t, std::uint64_t>, TxnAccumulator> txns;
+
+  for (std::size_t p = 0; p < logs.size(); ++p) {
+    const std::vector<std::uint8_t>& log = logs[p];
+    std::size_t off = 0;
+    while (off < valid_bytes[p]) {
+      std::uint32_t len = 0;
+      std::uint32_t kind = 0;
+      std::memcpy(&len, log.data() + off, 4);
+      std::memcpy(&kind, log.data() + off + 4, 4);
+      const std::uint8_t* payload = log.data() + off + kFrameHeaderBytes;
+      off += kFrameHeaderBytes + len;
+      if (kind != kFragmentFrame) continue;
+      ORTHRUS_CHECK(len >= sizeof(FragmentDiskHeader));
+      FragmentDiskHeader hdr;
+      std::memcpy(&hdr, payload, sizeof(hdr));
+      if (hdr.epoch > durable) {
+        r.fragments_skipped++;
+        continue;
+      }
+      ORTHRUS_CHECK(hdr.producer < static_cast<std::uint32_t>(n_producers));
+      TxnAccumulator& acc = txns[{hdr.producer, hdr.producer_seq}];
+      if (acc.writes_seen == 0 && acc.epoch == 0) {
+        acc.epoch = hdr.epoch;
+        acc.writes_total = hdr.txn_writes_total;
+      } else {
+        ORTHRUS_CHECK_MSG(acc.epoch == hdr.epoch &&
+                              acc.writes_total == hdr.txn_writes_total,
+                          "wal recovery: inconsistent fragments for one txn");
+      }
+      acc.writes_seen += hdr.n_writes;
+
+      const std::uint8_t* w = payload + sizeof(FragmentDiskHeader);
+      const std::uint8_t* end = payload + len;
+      for (std::uint32_t i = 0; i < hdr.n_writes; ++i) {
+        ORTHRUS_CHECK(w + sizeof(WriteImageHeader) <= end);
+        WriteImageHeader wh;
+        std::memcpy(&wh, w, sizeof(wh));
+        const std::uint32_t padded = (wh.len + 7u) & ~7u;
+        ORTHRUS_CHECK(w + sizeof(WriteImageHeader) + padded <= end);
+        ORTHRUS_CHECK(wh.table < db->num_tables());
+        storage::Table* tbl = db->GetTable(wh.table);
+        ORTHRUS_CHECK(wh.slot < tbl->capacity());
+        ORTHRUS_CHECK(wh.len == tbl->row_bytes());
+        std::uint64_t& av = applied[wh.table][wh.slot];
+        if (wh.version > av) {
+          std::memcpy(tbl->RowBySlot(wh.slot), w + sizeof(WriteImageHeader),
+                      wh.len);
+          av = wh.version;
+          r.writes_applied++;
+        }
+        w += sizeof(WriteImageHeader) + padded;
+      }
+    }
+  }
+
+  // Per-producer accounting: the durable transactions of each producer must
+  // be complete (every fragment present — the seal contract) and form a
+  // dense prefix of its commit order (epochs are monotone per producer).
+  std::vector<std::uint64_t> max_seq(static_cast<std::size_t>(n_producers),
+                                     0);
+  std::vector<bool> any(static_cast<std::size_t>(n_producers), false);
+  for (const auto& [key, acc] : txns) {
+    ORTHRUS_CHECK_MSG(acc.writes_seen == acc.writes_total,
+                      "wal recovery: durable epoch covers an incomplete txn");
+    r.txns_replayed++;
+    const std::size_t prod = key.first;
+    max_seq[prod] = std::max(max_seq[prod], key.second);
+    any[prod] = true;
+    r.durable_per_producer[prod]++;
+  }
+  for (int i = 0; i < n_producers; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    ORTHRUS_CHECK_MSG(
+        !any[s] || r.durable_per_producer[s] == max_seq[s] + 1,
+        "wal recovery: durable transactions are not a dense prefix");
+  }
+  return r;
+}
+
+}  // namespace orthrus::wal

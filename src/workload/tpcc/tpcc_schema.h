@@ -58,9 +58,12 @@ struct TpccScale {
   // loads 3000 orders per district, ~900 undelivered). Deliveries then
   // consume load-deterministic orders instead of racing NewOrder for
   // whatever committed first, which is what lets Delivery join the
-  // cross-engine equivalence mix: as long as a run's Deliveries per
-  // district stay below this count, the delivered order *contents* (and
-  // so every customer credit) are independent of commit interleaving.
+  // cross-engine equivalence mix. The Delivery cursor is additionally
+  // capped at the seeded frontier whenever this is > 0: once the backlog
+  // is exhausted a district reports nothing to deliver rather than
+  // consuming an interleaving-dependent runtime order, so the delivered
+  // contents (and every customer credit) stay load-deterministic for any
+  // number of committed Deliveries (see DeliveryLogic::DeliverableEnd).
   int seeded_orders = 0;
 };
 

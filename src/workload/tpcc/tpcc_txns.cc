@@ -297,6 +297,22 @@ class DeliveryLogic final : public txn::TxnLogic {
 
   bool NeedsReconnaissance() const override { return true; }
 
+  // One past the newest order this Delivery may consume. Without seeded
+  // orders that is next_o_id (deliver anything placed so far). With
+  // seeded_orders > 0 — the cross-engine equivalence mode — the cursor is
+  // capped at the load-time frontier: once the seeded backlog is
+  // exhausted, a district reports nothing to deliver instead of consuming
+  // a runtime order, whose contents (and thus the credited customer)
+  // depend on the commit interleaving. That cap is what keeps the
+  // delivered order multiset load-deterministic for *any* number of
+  // committed Deliveries, not only runs that stop short of the backlog.
+  std::uint32_t DeliverableEnd(const DistrictRow& dr) const {
+    if (aux_->scale.seeded_orders <= 0) return dr.next_o_id;
+    const std::uint32_t frontier =
+        1 + static_cast<std::uint32_t>(aux_->scale.seeded_orders);
+    return std::min(dr.next_o_id, frontier);
+  }
+
   void BuildAccessSet(txn::Txn* t, storage::Database* db) override {
     DeliveryParams* p = t->Params<DeliveryParams>();
     const int d_count = aux_->scale.districts_per_warehouse;
@@ -309,7 +325,7 @@ class DeliveryLogic final : public txn::TxnLogic {
           db->GetTable(kDistrict)->LookupRaw(DistrictKey(p->w, d)));
       ORTHRUS_DCHECK(dr != nullptr);
       p->observed_cursor[d] = dr->delivered_o_id;
-      if (dr->delivered_o_id < dr->next_o_id) {
+      if (dr->delivered_o_id < DeliverableEnd(*dr)) {
         const int ring = aux_->DistrictIndex(p->w, d);
         const OrderRec& o = aux_->orders[ring][dr->delivered_o_id % cap];
         p->customer_key[d] = CustomerKey(p->w, d,
@@ -335,7 +351,7 @@ class DeliveryLogic final : public txn::TxnLogic {
           t->RowFor(kDistrict, DistrictKey(p->w, d)));
       ORTHRUS_DCHECK(dr != nullptr);
       if (dr->delivered_o_id != p->observed_cursor[d]) return false;
-      const bool has_order = dr->delivered_o_id < dr->next_o_id;
+      const bool has_order = dr->delivered_o_id < DeliverableEnd(*dr);
       const bool planned = p->customer_key[d] != DeliveryParams::kNoCustomer;
       if (has_order != planned) return false;
       if (planned) {

@@ -429,6 +429,74 @@ TEST(EngineEquivalence, FullMixSeededDeliveriesMatchAcrossEngines) {
   }
 }
 
+// Backlog exhaustion: a Delivery-heavy mix against a tiny seeded backlog.
+// Every district's three seeded orders are delivered early in the run and
+// all later Deliveries find (and must keep finding) nothing to deliver —
+// the cursor is capped at the seeded frontier, so no Delivery ever
+// consumes a runtime order even though NewOrders keep arriving. The
+// delivered order multiset is therefore still load-deterministic, and the
+// runs compare on full *contents* across engines: lock-managed tables
+// (customer credits included), order rings through the canonical digest,
+// and the delivery tallies.
+TEST(EngineEquivalence, ExhaustedDeliveryBacklogMatchesAcrossEngines) {
+  workload::tpcc::TpccScale scale;
+  scale.warehouses = 2;
+  scale.customers_per_district = 60;
+  scale.items = 200;
+  scale.order_ring_capacity = 1024;
+  // ~30 committed Deliveries land on 2 warehouses — far beyond 3 seeded
+  // orders per district, so the backlog exhausts within the run.
+  scale.seeded_orders = 3;
+  scale.mix = workload::tpcc::TpccMix{30, 30, 0, 40, 0};
+
+  std::vector<std::pair<std::string, TpccOutcome>> outcomes;
+  {
+    engine::TwoPlEngine eng(Options(kExecWorkers),
+                            engine::DeadlockPolicyKind::kWaitDie);
+    outcomes.emplace_back(
+        eng.name(), RunTpccAt(&eng, kExecWorkers, kExecWorkers, 0, scale));
+  }
+  {
+    engine::DeadlockFreeEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(
+        eng.name(), RunTpccAt(&eng, kExecWorkers, kExecWorkers, 0, scale));
+  }
+  {
+    engine::SharedCcEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(
+        eng.name(), RunTpccAt(&eng, kExecWorkers, kExecWorkers, 0, scale));
+  }
+  {
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunTpccAt(&eng, kOrthrusCc + kExecWorkers,
+                                    kOrthrusCc, kOrthrusCc, scale));
+  }
+
+  const std::uint64_t want_committed = kExecWorkers * kTxnsPerWorker;
+  const TpccOutcome& first = outcomes.front().second;
+  // The scenario only means anything if the backlog actually ran out:
+  // every seeded order of both warehouses delivered, and more Deliveries
+  // committed than could ever have found a full backlog.
+  ASSERT_EQ(first.orders_delivered,
+            static_cast<std::uint64_t>(2 * 10 * scale.seeded_orders));
+  ASSERT_GT(first.deliveries, first.orders_delivered / 10);
+  for (const auto& [name, out] : outcomes) {
+    EXPECT_EQ(out.committed, want_committed) << name;
+    EXPECT_EQ(out.tally_total, want_committed) << name;
+    EXPECT_EQ(out.digest, first.digest)
+        << name << " diverged from " << outcomes.front().first;
+    EXPECT_EQ(out.canonical_ring_digest, first.canonical_ring_digest)
+        << name << " ring contents diverged from " << outcomes.front().first;
+    EXPECT_EQ(out.deliveries, first.deliveries) << name;
+    EXPECT_EQ(out.orders_delivered, first.orders_delivered) << name;
+    EXPECT_EQ(out.delivered_cents, first.delivered_cents) << name;
+  }
+}
+
 // Same TPC-C run twice on the same architecture must be bit-identical,
 // including the rings the canonical digest excludes for cross-engine
 // comparison (within one engine the interleaving is deterministic too, so

@@ -1593,5 +1593,45 @@ TEST(MultiMeshAdaptive, SimChurnIsDeterministic) {
   EXPECT_EQ(a, b);
 }
 
+// ------------------------------------------------------- stall accounting
+
+// Blocking sends that hit a full ring charge the core's registered
+// hal::SpinStallSink: one stall per blocked Send call, plus the cycles the
+// wedge-spin waited. Sends that never block charge nothing — the sink is
+// pure observability (WorkerPool installs one per worker and folds it into
+// WorkerStats::send_stalls; TxnAdmission::BackpressureStalls reads it live).
+TEST(QueueMesh, BlockingSendChargesTheStallSink) {
+  constexpr std::size_t kCap = 16;
+  constexpr hal::Cycles kConsumerDelay = 20000;
+  hal::SimPlatform sim(2);
+  QueueMesh<std::uint64_t> mesh(1, 1, kCap);
+  hal::SpinStallSink sink;
+  std::uint64_t received = 0;
+  sim.Spawn(0, [&] {
+    hal::CurrentCore()->send_stall_sink = &sink;
+    // Fill the ring without blocking: a never-blocked send charges nothing
+    // (it never even reads the clock).
+    for (std::uint64_t i = 0; i < kCap; ++i) mesh.Send(0, 0, i);
+    EXPECT_EQ(sink.stalls, 0u);
+    EXPECT_EQ(sink.stall_cycles, 0u);
+    // One more send against the full ring: it must wait out the consumer's
+    // delay, and however long it spins, it counts as exactly one stall.
+    mesh.Send(0, 0, kCap);
+    hal::CurrentCore()->send_stall_sink = nullptr;
+  });
+  sim.Spawn(1, [&] {
+    hal::ConsumeCycles(kConsumerDelay);
+    while (received < kCap + 1) {
+      received += mesh.Drain(0, [&](std::uint64_t) {});
+      hal::CpuRelax();
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(received, kCap + 1);
+  EXPECT_EQ(sink.stalls, 1u);
+  // The blocked send waited for most of the consumer's delay.
+  EXPECT_GT(sink.stall_cycles, kConsumerDelay / 2);
+}
+
 }  // namespace
 }  // namespace orthrus::mp
