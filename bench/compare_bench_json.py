@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff two directories of nightly BENCH_*.json artifacts.
+
+Usage: compare_bench_json.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+
+Matches data points by (figure, series, x) and fails (exit 1) when any
+point regresses by more than the threshold (default 10%) in throughput
+(drop) or p99 commit latency (rise). Points present on only one side are
+reported but never fail the run — figures and sweeps are allowed to come
+and go. An empty or missing baseline directory exits 0 so the first
+nightly after this gate lands (or after an artifact-retention gap) passes.
+
+Latency guard: points whose baseline p99 is under --min-p99-us (default
+1 us) are skipped for the latency check — sub-microsecond sim latencies
+are dominated by quantization and flap far beyond any useful threshold.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_points(directory):
+    """Returns {(figure, series, x): record} for every BENCH_*.json."""
+    points = {}
+    if not os.path.isdir(directory):
+        return points
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping unreadable {path}: {e}")
+            continue
+        figure = doc.get("figure", name)
+        for p in doc.get("points", []):
+            key = (figure, p.get("series", ""), str(p.get("x", "")))
+            points[key] = p
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--min-p99-us", type=float, default=1.0,
+                    help="skip latency check below this baseline p99")
+    args = ap.parse_args()
+
+    base = load_points(args.baseline)
+    curr = load_points(args.current)
+    if not base:
+        print(f"no baseline points under {args.baseline}; passing")
+        return 0
+    if not curr:
+        print(f"error: no current points under {args.current}")
+        return 1
+
+    tol = args.threshold / 100.0
+    regressions = []
+    compared = 0
+    for key, b in sorted(base.items()):
+        c = curr.get(key)
+        label = "/".join(key)
+        if c is None:
+            print(f"note: point gone: {label}")
+            continue
+        compared += 1
+        bt = b.get("throughput_txns_per_sec", 0.0)
+        ct = c.get("throughput_txns_per_sec", 0.0)
+        if bt > 0 and ct < bt * (1.0 - tol):
+            regressions.append(
+                f"{label}: throughput {bt:.0f} -> {ct:.0f} txns/s "
+                f"({100.0 * (ct - bt) / bt:+.1f}%)")
+        bl = b.get("p99_commit_latency_us", 0.0)
+        cl = c.get("p99_commit_latency_us", 0.0)
+        if bl >= args.min_p99_us and cl > bl * (1.0 + tol):
+            regressions.append(
+                f"{label}: p99 {bl:.2f} -> {cl:.2f} us "
+                f"({100.0 * (cl - bl) / bl:+.1f}%)")
+    for key in sorted(set(curr) - set(base)):
+        print(f"note: new point: {'/'.join(key)}")
+
+    print(f"compared {compared} points at ±{args.threshold:.0f}%")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for r in regressions:
+            print(f"  FAIL {r}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "engine/autotune.h"
+#include "hal/slab_arena.h"
+#include "hal/topology.h"
 #include "lock/space_map.h"
 #include "mp/multi_mesh.h"
 #include "mp/queue_mesh.h"
@@ -1099,10 +1101,27 @@ class CcThread {
 
 class ExecThread {
  public:
+  // TCBs are address-stable for the run and non-trivially destructible
+  // (Txn holds vectors), so arena-placed ones are destroyed in place while
+  // the arena keeps the storage; heap ones delete normally.
+  struct TcbDeleter {
+    bool in_arena = false;
+    void operator()(Tcb* t) const {
+      if (in_arena) {
+        t->~Tcb();
+      } else {
+        delete t;
+      }
+    }
+  };
+
+  // `arena`, when non-null, places this thread's 512-aligned TCBs on its
+  // home node (NUMA placement; see Run). Null keeps heap TCBs.
   ExecThread(int exec_id, Shared* shared, storage::Database* db,
              const workload::Workload& workload,
              runtime::WorkerContext* worker,
-             const runtime::DriverOptions& driver_options, int max_inflight)
+             const runtime::DriverOptions& driver_options, int max_inflight,
+             hal::SlabArena* arena = nullptr)
       : exec_id_(exec_id),
         shared_(shared),
         db_(db),
@@ -1129,11 +1148,14 @@ class ExecThread {
       router_ = std::make_unique<Router>(shared->space,
                                          shared->n_cc + exec_id);
     }
-    tcbs_.resize(max_inflight);
+    tcbs_.reserve(static_cast<std::size_t>(max_inflight));
     for (int i = 0; i < max_inflight; ++i) {
-      tcbs_[i] = std::make_unique<Tcb>();
-      tcbs_[i]->exec_id = exec_id_;
-      tcbs_[i]->slot = i;
+      Tcb* t = arena != nullptr
+                   ? new (arena->Allocate(sizeof(Tcb), alignof(Tcb))) Tcb()
+                   : new Tcb();
+      tcbs_.emplace_back(t, TcbDeleter{arena != nullptr});
+      t->exec_id = exec_id_;
+      t->slot = i;
       free_slots_.push_back(i);
     }
   }
@@ -1327,7 +1349,11 @@ class ExecThread {
 
   bool IssueNew() {
     bool issued = false;
-    while (!free_slots_.empty() && !Stopping()) {
+    // Backpressure admission: the cap tracks the AIMD window when the mode
+    // is on and equals max_inflight_ (making the check redundant with the
+    // free-slot test) when off — no clock read, byte-identical.
+    const int cap = admission_.InflightCap(max_inflight_);
+    while (!free_slots_.empty() && inflight_ < cap && !Stopping()) {
       // Durability admission gate: every admitted transaction will Capture
       // into the fragment arena when its grant arrives — regardless of
       // arena pressure at that moment — so admission reserves a worst-case
@@ -1478,7 +1504,7 @@ class ExecThread {
   // per-pair SPSC buffer (static roles) or the MPSC buffer (elastic).
   std::unique_ptr<SendBuf> out_cc_;
   std::unique_ptr<MultiSendBuf> out_cc_multi_;
-  std::vector<std::unique_ptr<Tcb>> tcbs_;
+  std::vector<std::unique_ptr<Tcb, TcbDeleter>> tcbs_;
   std::vector<int> free_slots_;
   int inflight_ = 0;
   // Durability (null when off): producer owned by Main's frame — it must
@@ -1527,6 +1553,23 @@ OrthrusEngine::OrthrusEngine(EngineOptions options, OrthrusOptions orthrus)
     ORTHRUS_CHECK(orthrus_.cc_partitions == 0 ||
                   orthrus_.cc_partitions >= orthrus_.num_cc);
   }
+  if (orthrus_.line_aligned_mesh) {
+    // Whole-line reservations only exist on the dynamic MPSC mesh; the
+    // static per-pair SPSC queues have one producer and no interleaving.
+    ORTHRUS_CHECK_MSG(orthrus_.elastic,
+                      "line_aligned_mesh shapes the elastic exec->CC mesh");
+  }
+  ORTHRUS_CHECK(orthrus_.mesh_capacity_factor > 0.0 &&
+                orthrus_.mesh_capacity_factor <= 1.0);
+  if (orthrus_.mesh_capacity_factor < 1.0) {
+    // Deadlock-safety argument for under-provisioning (see the header)
+    // only covers the elastic exec->CC mesh.
+    ORTHRUS_CHECK_MSG(orthrus_.elastic,
+                      "mesh_capacity_factor shapes the elastic mesh");
+  }
+  if (orthrus_.backpressure_admission) {
+    ORTHRUS_CHECK(orthrus_.backpressure_epoch_seconds > 0);
+  }
 }
 
 std::string OrthrusEngine::name() const {
@@ -1541,6 +1584,8 @@ std::string OrthrusEngine::name() const {
   if (orthrus_.elastic) n += "-elastic";
   if (orthrus_.elastic_cc) n += "cc";
   if (orthrus_.adaptive_drain_batch) n += "-adbatch";
+  if (orthrus_.line_aligned_mesh) n += "-linemesh";
+  if (orthrus_.backpressure_admission) n += "-bp";
   return n;
 }
 
@@ -1579,6 +1624,38 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
         "arena_records >= (max_inflight + 1) * kMaxTxnFragments");
   }
 
+  // ---- NUMA placement. Active only when the caller supplied a real
+  // multi-socket topology; null or flat keeps every allocation and every
+  // worker->core assignment exactly as before (byte-identical runs). The
+  // shared-CC table opts out: it shards its latch state by hal::CoreId(),
+  // which a non-identity worker->core map would send out of range.
+  //
+  // Policy (the paper's data-locality argument taken to the socket level):
+  // group 0 = CC threads plus the log streams they feed, packed together
+  // on socket 0 so the lock partitions, the CC-side mesh rings, and the
+  // CC<->CC forwarding chains never cross the interconnect; group 1 = exec
+  // threads, filling the remaining cores socket-major, with each exec
+  // thread's grant-queue rings and TCBs carved from its own node's arena.
+  const hal::Topology* topo = options_.topology;
+  const bool placement =
+      topo != nullptr && !topo->flat() && !orthrus_.shared_cc_table;
+  std::vector<int> core_of_worker;    // worker id -> core id
+  std::vector<int> socket_of_worker;  // worker id -> modeled socket
+  hal::NodeArenaSet arenas;  // outlives Shared: rings point into the slabs
+  if (placement) {
+    std::vector<std::vector<int>> groups(2);
+    for (int c = 0; c < n_cc; ++c) groups[0].push_back(c);
+    for (int l = 0; l < loggers; ++l) {
+      groups[0].push_back(options_.num_cores + l);
+    }
+    for (int e = 0; e < n_exec; ++e) groups[1].push_back(n_cc + e);
+    core_of_worker = topo->PackGroups(groups);
+    socket_of_worker.resize(core_of_worker.size());
+    for (std::size_t w = 0; w < core_of_worker.size(); ++w) {
+      socket_of_worker[w] = topo->SocketOf(core_of_worker[w]);
+    }
+  }
+
   Shared shared;
   shared.n_cc = n_cc;
   shared.n_exec = n_exec;
@@ -1613,6 +1690,24 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
       per_txn_msgs * inflight * static_cast<std::size_t>(n_exec) + 4);
   const std::size_t gq_cap =
       NextPowerOfTwo(per_txn_msgs * inflight + 4);
+
+  // Per-receiver ring placement: a receiver's rings live on its node. The
+  // vectors stay empty (and the meshes get null) when placement is off.
+  std::vector<Mesh::ReceiverPlacement> cc_recv;
+  std::vector<Mesh::ReceiverPlacement> exec_recv;
+  std::vector<MultiMesh::ReceiverPlacement> cc_recv_multi;
+  if (placement) {
+    for (int c = 0; c < n_cc; ++c) {
+      const int s = socket_of_worker[static_cast<std::size_t>(c)];
+      cc_recv.push_back({arenas.ForNode(s), s});
+      cc_recv_multi.push_back({arenas.ForNode(s), s});
+    }
+    for (int e = 0; e < n_exec; ++e) {
+      const int s = socket_of_worker[static_cast<std::size_t>(n_cc + e)];
+      exec_recv.push_back({arenas.ForNode(s), s});
+    }
+  }
+
   if (orthrus_.elastic) {
     // Shard the dynamic mesh so exec senders do not all serialize on one
     // reservation index per CC thread. 0 = adaptive: the mesh derives the
@@ -1628,15 +1723,32 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
         shards > 0
             ? static_cast<std::size_t>((n_exec + shards - 1) / shards)
             : static_cast<std::size_t>(n_exec);
+    std::size_t mcap = per_txn_msgs * inflight * senders_per_shard + 4;
+    if (orthrus_.line_aligned_mesh) {
+      // Whole-line reservations pad every push to a line boundary, so the
+      // outstanding-slot bound inflates by up to a line per send.
+      mcap *= MultiMesh::kDefaultBatch;
+    }
+    if (orthrus_.mesh_capacity_factor < 1.0) {
+      // Deliberate under-provisioning (backpressure benches): sends that
+      // exceed the scaled ring spin until the CC drains — never deadlock,
+      // since CC threads drain this mesh unconditionally every quantum.
+      mcap = static_cast<std::size_t>(static_cast<double>(mcap) *
+                                      orthrus_.mesh_capacity_factor);
+    }
+    const std::size_t mcap_floor =
+        orthrus_.line_aligned_mesh ? MultiMesh::kDefaultBatch : 1;
+    if (mcap < mcap_floor) mcap = mcap_floor;
     shared.exec_to_cc_multi.Reset(
-        n_cc,
-        NextPowerOfTwo(per_txn_msgs * inflight * senders_per_shard + 4),
-        shards);
+        n_cc, NextPowerOfTwo(mcap), shards, orthrus_.line_aligned_mesh,
+        /*skip=*/0, placement ? &cc_recv_multi : nullptr);
   } else {
-    shared.exec_to_cc.Reset(n_exec, n_cc, aq_cap);
+    shared.exec_to_cc.Reset(n_exec, n_cc, aq_cap,
+                            placement ? &cc_recv : nullptr);
   }
-  shared.cc_to_cc.Reset(n_cc, n_cc, fq_cap);
-  shared.cc_to_exec.Reset(n_cc, n_exec, gq_cap);
+  shared.cc_to_cc.Reset(n_cc, n_cc, fq_cap, placement ? &cc_recv : nullptr);
+  shared.cc_to_exec.Reset(n_cc, n_exec, gq_cap,
+                          placement ? &exec_recv : nullptr);
   if (!orthrus_.batched_mp) shared.drain_batch = 1;
   if (!orthrus_.coalesced_send) shared.send_stage = 1;
   if (orthrus_.adaptive_drain) {
@@ -1656,8 +1768,11 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   for (int l = 0; l < loggers; ++l) {
     pool.AssignRole(options_.num_cores + l, runtime::WorkerRole::kLogger);
   }
-  const runtime::DriverOptions dopts =
+  if (placement) pool.SetPlacement(core_of_worker);
+  runtime::DriverOptions dopts =
       MakeDriverOptions(options_, /*charge_admission=*/true);
+  dopts.backpressure = orthrus_.backpressure_admission;
+  dopts.backpressure_epoch_seconds = orthrus_.backpressure_epoch_seconds;
 
   // Elastic controller: CC thread 0 runs the reallocation epochs against
   // the exec threads' published commit counters. Constructed only in
@@ -1726,9 +1841,13 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
         c == 0 ? controller2d.get() : nullptr, epoch_cycles));
   }
   for (int e = 0; e < n_exec; ++e) {
+    hal::SlabArena* tcb_arena =
+        placement ? arenas.ForNode(
+                        socket_of_worker[static_cast<std::size_t>(n_cc + e)])
+                  : nullptr;
     exec_threads.push_back(std::make_unique<ExecThread>(
         e, &shared, db, workload, &pool.worker(n_cc + e), dopts,
-        orthrus_.max_inflight));
+        orthrus_.max_inflight, tcb_arena));
   }
 
   for (int c = 0; c < n_cc; ++c) {

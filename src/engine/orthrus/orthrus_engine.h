@@ -171,6 +171,35 @@ struct OrthrusOptions {
   // the thread does nothing else — the cache-locality benefit of
   // partitioned functionality (Section 2.1 / 3.1).
   hal::Cycles cc_op_cycles = 12;
+
+  // Whole-line reservations for the elastic exec->CC MultiMesh
+  // (mp::MpscQueue's line_aligned mode): no two exec senders ever write
+  // payload words into the same line, eliminating the mid-line
+  // interleaving cost of the shared rings. The capacity bound is
+  // multiplied by the line size to absorb padding (see Run()'s mesh
+  // sizing); message encodings never produce the 0 word (TCB pointers are
+  // 512-aligned non-null), which serves as the skip sentinel. Requires
+  // elastic=true; off keeps the historical ring layout bit-for-bit.
+  bool line_aligned_mesh = false;
+
+  // Scales the elastic exec->CC mesh capacity relative to its provable
+  // bound (1.0 = fully provisioned, never blocks). Values < 1 deliberately
+  // under-provision that mesh — and only that mesh; the CC-side meshes CC
+  // threads block on stay fully provisioned, so deadlock freedom is
+  // unaffected (CC drains exec->CC unconditionally) — to create a real
+  // send-stall regime at saturation for backpressure_admission to convert
+  // into admission throttling. Bench/ablation use; 1.0 in production.
+  double mesh_capacity_factor = 1.0;
+
+  // Backpressure-driven admission (runtime::TxnAdmission::InflightCap):
+  // exec threads convert their per-epoch blocking-send stall rate into an
+  // AIMD reduction of the in-flight window instead of letting blocking
+  // sends spin against full rings. Off by default (fixed window,
+  // byte-identical).
+  bool backpressure_admission = false;
+
+  // Cap-adjustment window for backpressure_admission, in (virtual) seconds.
+  double backpressure_epoch_seconds = 0.0002;
 };
 
 class OrthrusEngine final : public Engine {

@@ -11,13 +11,24 @@ Fiber::Fiber(Entry entry, std::size_t stack_size)
   ORTHRUS_CHECK(stack_size >= 16 * 1024);
   stack_ = std::make_unique<std::uint8_t[]>(stack_size);
 
-  // Build the initial frame the asm swap routine expects: six callee-saved
-  // register slots below a return address pointing at the trampoline. %r12
-  // carries the fiber pointer into the trampoline.
   std::uintptr_t top =
       reinterpret_cast<std::uintptr_t>(stack_.get() + stack_size);
   top &= ~static_cast<std::uintptr_t>(15);  // 16-byte alignment
   std::uint64_t* p = reinterpret_cast<std::uint64_t*>(top);
+#if defined(__aarch64__)
+  // Build the initial frame fiber_swap_aarch64.S expects: a zeroed
+  // 160-byte callee-saved register file with the x30 slot aimed at the
+  // trampoline and the x19 slot carrying the fiber pointer.
+  std::uint64_t* frame = p - 20;  // 160 bytes, keeps sp 16-aligned
+  for (int i = 0; i < 20; ++i) frame[i] = 0;
+  frame[0] = reinterpret_cast<std::uint64_t>(this);  // x19
+  frame[11] =
+      reinterpret_cast<std::uint64_t>(&orthrus_fiber_trampoline);  // x30
+  sp_ = frame;
+#else
+  // Build the initial frame fiber_swap.S expects: six callee-saved
+  // register slots below a return address pointing at the trampoline. %r12
+  // carries the fiber pointer into the trampoline.
   *(p - 1) = 0;  // alignment pad / fake caller frame
   *(p - 2) = reinterpret_cast<std::uint64_t>(&orthrus_fiber_trampoline);
   *(p - 3) = 0;                                      // rbp
@@ -27,6 +38,7 @@ Fiber::Fiber(Entry entry, std::size_t stack_size)
   *(p - 7) = 0;                                      // r14
   *(p - 8) = 0;                                      // r15
   sp_ = p - 8;
+#endif
 }
 
 Fiber::~Fiber() {

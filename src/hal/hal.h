@@ -74,6 +74,10 @@ enum class MemOp { kLoad, kStore, kRmw };
 // modeled access needs no hash lookups. Ignored by the native platform.
 struct LineMeta {
   std::int16_t owner = -1;   // core that last wrote the line
+  // Modeled NUMA socket of the line's backing memory, or -1 when unplaced.
+  // Consulted only by a multi-socket SimConfig, and only when no core owns
+  // the line yet (after that the owner's socket decides transfer distance).
+  std::int8_t home = -1;
   Bitset128 readers;         // cores holding a (possibly shared) copy
   Cycles busy_until = 0;     // line occupied by in-flight atomic RMWs
 };
@@ -224,6 +228,11 @@ class alignas(kCacheLineSize) Atomic {
   T RawLoad() const { return v_.load(std::memory_order_relaxed); }
   void RawStore(T v) { v_.store(v, std::memory_order_relaxed); }
 
+  // Setup-time NUMA placement tag for the simulator's distance model.
+  void SetHomeRaw(int socket) {
+    line_.home = static_cast<std::int8_t>(socket);
+  }
+
  private:
   void Touch(MemOp op) {
     CoreContext* cc = CurrentCore();
@@ -266,6 +275,12 @@ class SpinLock {
   // Setup-time (unmodeled) check, for tests.
   bool IsLockedRaw() const {
     return next_.RawLoad() != serving_.RawLoad();
+  }
+
+  // Setup-time NUMA placement tag (both ticket lines) for the sim model.
+  void SetHomeRaw(int socket) {
+    next_.SetHomeRaw(socket);
+    serving_.SetHomeRaw(socket);
   }
 
  private:

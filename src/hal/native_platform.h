@@ -23,6 +23,12 @@ class NativePlatform final : public Platform {
   bool is_simulated() const override { return false; }
   void Spawn(int core_id, std::function<void()> fn) override;
   void Run() override;
+
+  // Opt-in: pin each spawned worker thread to OS CPU (core_id % nproc) via
+  // pthread_setaffinity_np before it runs. Off by default — tests routinely
+  // run more logical cores than the host has, and pinning there would just
+  // serialize them. Call before Run.
+  void SetPinThreads(bool pin) { pin_threads_ = pin; }
   double CyclesPerSecond() const override { return kGhz * 1e9; }
 
   Cycles Now() override;
@@ -46,6 +52,7 @@ class NativePlatform final : public Platform {
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point epoch_;
   bool ran_ = false;
+  bool pin_threads_ = false;
 };
 
 }  // namespace orthrus::hal

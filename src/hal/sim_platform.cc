@@ -9,6 +9,7 @@ namespace orthrus::hal {
 SimPlatform::SimPlatform(int num_cores, SimConfig config)
     : num_cores_(num_cores), config_(config), cores_(num_cores) {
   ORTHRUS_CHECK(num_cores >= 1 && num_cores <= Bitset128::kBits);
+  ORTHRUS_CHECK(config_.sockets >= 1);
   for (int i = 0; i < num_cores; ++i) {
     cores_[i].context.platform = this;
     cores_[i].context.core_id = i;
@@ -104,14 +105,36 @@ void SimPlatform::OnAtomicAccess(LineMeta* line, MemOp op) {
   const Cycles t = core.local_now;
   const bool exclusive_here = line->owner == me && line->readers.Test(me) &&
                               !line->readers.AnyOtherThan(me);
+  // Multi-socket model: a transfer is same-socket when the line's current
+  // location — its owner, or its placed home node while unowned — shares a
+  // socket with the requester. Single-socket configs never take this path,
+  // keeping their cost arithmetic identical to the pre-NUMA model.
+  bool local_transfer = false;
+  if (config_.sockets > 1) {
+    const int loc_socket = line->owner >= 0
+                               ? SocketOf(line->owner)
+                               : static_cast<int>(line->home);
+    local_transfer = loc_socket >= 0 && loc_socket == SocketOf(me);
+  }
 
-  // Every remote transfer flows through the shared coherence fabric, which
-  // has finite aggregate capacity. Returns the queueing delay suffered.
+  // Every cross-socket transfer flows through the shared coherence fabric,
+  // which has finite aggregate capacity. Returns the queueing delay
+  // suffered. Same-socket transfers never touch it.
   auto charge_interconnect = [&](Cycles start) -> Cycles {
     const Cycles begin = std::max(start, interconnect_busy_until_);
     interconnect_busy_until_ = begin + config_.interconnect_service_cycles;
     stats_.interconnect_stall_cycles += begin - start;
     return begin - start;
+  };
+
+  // Cost of pulling the line to this core, distance-aware.
+  auto transfer_cost = [&](Cycles start) -> Cycles {
+    if (local_transfer) {
+      stats_.local_transfers++;
+      return config_.local_transfer_cycles;
+    }
+    stats_.remote_transfers++;
+    return config_.remote_transfer_cycles + charge_interconnect(start);
   };
 
   switch (op) {
@@ -126,12 +149,10 @@ void SimPlatform::OnAtomicAccess(LineMeta* line, MemOp op) {
       if (exclusive_here) {
         cost = config_.l1_hit_cycles;
       } else {
-        stats_.remote_transfers++;
         int sharers = line->readers.Count();
         if (line->readers.Test(me)) sharers--;
-        cost = config_.remote_transfer_cycles +
-               config_.invalidate_per_sharer * static_cast<Cycles>(sharers) +
-               charge_interconnect(start);
+        cost = transfer_cost(start) +
+               config_.invalidate_per_sharer * static_cast<Cycles>(sharers);
       }
       line->busy_until = start + config_.rmw_service_cycles;
       line->owner = static_cast<std::int16_t>(me);
@@ -149,8 +170,12 @@ void SimPlatform::OnAtomicAccess(LineMeta* line, MemOp op) {
       // to the line, not the core).
       Cycles fabric_delay = 0;
       if (!exclusive_here) {
-        stats_.remote_transfers++;
-        fabric_delay = charge_interconnect(t);
+        if (local_transfer) {
+          stats_.local_transfers++;
+        } else {
+          stats_.remote_transfers++;
+          fabric_delay = charge_interconnect(t);
+        }
       }
       line->busy_until = std::max(t, line->busy_until) + fabric_delay +
                          config_.store_service_cycles;
@@ -170,8 +195,7 @@ void SimPlatform::OnAtomicAccess(LineMeta* line, MemOp op) {
       if (line->readers.Test(me)) {
         cost = config_.l1_hit_cycles;
       } else {
-        stats_.remote_transfers++;
-        cost = config_.remote_transfer_cycles + charge_interconnect(start);
+        cost = transfer_cost(start);
         line->readers.Set(me);
       }
       core.local_now = start + cost;

@@ -1,0 +1,130 @@
+#include "hal/topology.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/macros.h"
+
+#if defined(__linux__)
+#include <sched.h>
+
+#include <cstdio>
+#endif
+
+namespace orthrus::hal {
+
+// Builder shared by the factories; fills the private members directly.
+struct TopologyBuilder {
+  static Topology Build(std::vector<int> socket_of, int sockets) {
+    ORTHRUS_CHECK(sockets >= 1);
+    Topology t;
+    t.cores_on_.resize(sockets);
+    for (int core = 0; core < static_cast<int>(socket_of.size()); ++core) {
+      ORTHRUS_CHECK(socket_of[core] >= 0 && socket_of[core] < sockets);
+      t.cores_on_[socket_of[core]].push_back(core);
+    }
+    t.socket_of_ = std::move(socket_of);
+    return t;
+  }
+};
+
+Topology Topology::Flat(int cores) {
+  ORTHRUS_CHECK(cores >= 1);
+  return TopologyBuilder::Build(std::vector<int>(cores, 0), 1);
+}
+
+Topology Topology::Modeled(int cores, int sockets) {
+  ORTHRUS_CHECK(cores >= 1);
+  if (sockets <= 1) return Flat(cores);
+  if (sockets > cores) sockets = cores;
+  std::vector<int> socket_of(cores);
+  for (int core = 0; core < cores; ++core) socket_of[core] = core % sockets;
+  return TopologyBuilder::Build(std::move(socket_of), sockets);
+}
+
+Topology Topology::Discover() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  bool have_mask = sched_getaffinity(0, sizeof(mask), &mask) == 0;
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!have_mask) {
+      if (cpu >= static_cast<int>(hw)) break;
+      cpus.push_back(cpu);
+    } else if (CPU_ISSET(cpu, &mask)) {
+      cpus.push_back(cpu);
+    }
+  }
+  if (cpus.empty()) return Flat(static_cast<int>(hw));
+
+  std::vector<int> package(cpus.size(), 0);
+  bool any = false;
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    char path[128];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/cpu/cpu%d/topology/physical_package_id",
+                  cpus[i]);
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) continue;
+    int id = 0;
+    if (std::fscanf(f, "%d", &id) == 1 && id >= 0) {
+      package[i] = id;
+      any = true;
+    }
+    std::fclose(f);
+  }
+  if (!any) return Flat(static_cast<int>(cpus.size()));
+
+  // Compact package ids to dense socket indices in first-seen order.
+  std::vector<int> ids;
+  std::vector<int> socket_of(cpus.size());
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    auto it = std::find(ids.begin(), ids.end(), package[i]);
+    if (it == ids.end()) {
+      ids.push_back(package[i]);
+      it = ids.end() - 1;
+    }
+    socket_of[i] = static_cast<int>(it - ids.begin());
+  }
+  return TopologyBuilder::Build(std::move(socket_of),
+                                static_cast<int>(ids.size()));
+#else
+  return Flat(static_cast<int>(hw));
+#endif
+}
+
+Topology Topology::Make(const TopologyOptions& opts, int cores) {
+  if (opts.discover) return Discover();
+  if (opts.sockets > 1) return Modeled(cores, opts.sockets);
+  return Flat(cores < 1 ? 1 : cores);
+}
+
+std::vector<int> Topology::PackGroups(
+    const std::vector<std::vector<int>>& groups) const {
+  std::size_t workers = 0;
+  for (const auto& g : groups) workers += g.size();
+
+  // Socket-major enumeration: all of socket 0's cores, then socket 1's...
+  std::vector<int> order;
+  order.reserve(socket_of_.size());
+  for (const auto& cores : cores_on_) {
+    order.insert(order.end(), cores.begin(), cores.end());
+  }
+  ORTHRUS_CHECK_MSG(workers <= order.size(),
+                    "more workers than topology cores");
+
+  std::vector<int> core_of_worker(workers, 0);
+  std::size_t next = 0;
+  for (const auto& g : groups) {
+    for (int worker : g) {
+      ORTHRUS_CHECK(worker >= 0 && worker < static_cast<int>(workers));
+      core_of_worker[worker] = order[next++];
+    }
+  }
+  return core_of_worker;
+}
+
+}  // namespace orthrus::hal

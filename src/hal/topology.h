@@ -1,0 +1,74 @@
+// Socket/core topology used for NUMA-aware placement decisions.
+//
+// Two sources:
+//   * Modeled(cores, sockets): a deterministic synthetic topology whose
+//     core->socket map matches SimConfig::sockets (core i lives on socket
+//     i % sockets, mirroring Linux's round-robin package enumeration), so
+//     placement decisions made against it are reproducible in the sim.
+//   * Discover(): the native machine, from sysfs physical_package_id
+//     restricted to the current affinity mask; falls back to a flat
+//     single-socket view when sysfs is unavailable.
+//
+// A flat topology (num_sockets() <= 1) is the "placement off" state: every
+// consumer must behave exactly as if no topology were supplied.
+
+#pragma once
+
+#include <vector>
+
+namespace orthrus::hal {
+
+// Engine-facing knobs. The default (sockets == 0) means "no modeled
+// topology": placement stays disabled unless discovery is requested and
+// finds a real multi-socket machine.
+struct TopologyOptions {
+  int sockets = 0;      // >1: model this many sockets over the worker count
+  bool discover = false;  // native: read the machine topology from sysfs
+  bool pin_threads = false;  // native: pthread_setaffinity_np workers
+};
+
+class Topology {
+ public:
+  // Single socket holding `cores` cores; placement decisions are identity.
+  static Topology Flat(int cores);
+
+  // Synthetic topology: core i sits on socket i % sockets. This matches
+  // SimPlatform's SocketOf so sim runs and placement agree on distances.
+  static Topology Modeled(int cores, int sockets);
+
+  // Native discovery via /sys/devices/system/cpu/cpu*/topology/
+  // physical_package_id over the process affinity mask. Falls back to
+  // Flat(hardware_concurrency) when sysfs is missing (non-Linux, chroot).
+  static Topology Discover();
+
+  // Resolve options against a concrete worker count.
+  static Topology Make(const TopologyOptions& opts, int cores);
+
+  int num_cores() const { return static_cast<int>(socket_of_.size()); }
+  int num_sockets() const { return static_cast<int>(cores_on_.size()); }
+  bool flat() const { return num_sockets() <= 1; }
+
+  int SocketOf(int core) const { return socket_of_[core]; }
+  const std::vector<int>& CoresOn(int socket) const {
+    return cores_on_[socket];
+  }
+
+  // Place worker groups onto cores. Workers are named by their position in
+  // the concatenation of `groups`; the result maps worker id -> core id.
+  // Cores are consumed in socket-major order (all of socket 0, then socket
+  // 1, ...), each group contiguously, so the first group — CC threads plus
+  // the log streams they own — lands together on socket 0 and later groups
+  // (exec threads) fill the remaining sockets. On a flat topology
+  // socket-major order is just 0..N-1, so the mapping degenerates to
+  // identity when groups are emitted in worker-id order.
+  std::vector<int> PackGroups(
+      const std::vector<std::vector<int>>& groups) const;
+
+ private:
+  friend struct TopologyBuilder;
+
+  std::vector<int> socket_of_;             // core -> socket
+  std::vector<std::vector<int>> cores_on_;  // socket -> cores (ascending)
+};
+
+}  // namespace orthrus::hal

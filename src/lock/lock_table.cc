@@ -6,8 +6,21 @@ LockTable::LockTable(Config config) : config_(config) {
   const std::uint64_t n = NextPowerOfTwo(config_.num_buckets);
   config_.num_buckets = n;
   bucket_mask_ = n - 1;
-  buckets_ = std::make_unique<Bucket[]>(n);
-  head_pool_ = std::make_unique<LockHead[]>(config_.max_lock_heads);
+  if (config_.arena != nullptr) {
+    buckets_ = config_.arena->AllocateArray<Bucket>(n);
+    head_pool_ =
+        config_.arena->AllocateArray<LockHead>(config_.max_lock_heads);
+  } else {
+    owned_buckets_ = std::make_unique<Bucket[]>(n);
+    owned_head_pool_ = std::make_unique<LockHead[]>(config_.max_lock_heads);
+    buckets_ = owned_buckets_.get();
+    head_pool_ = owned_head_pool_.get();
+  }
+  if (config_.home_socket >= 0) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      buckets_[i].latch.SetHomeRaw(config_.home_socket);
+    }
+  }
   heads_per_worker_ = config_.max_lock_heads /
                       static_cast<std::uint64_t>(config_.max_workers);
   ORTHRUS_CHECK(heads_per_worker_ >= 1);

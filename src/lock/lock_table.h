@@ -24,6 +24,7 @@
 #include "common/macros.h"
 #include "common/stats.h"
 #include "hal/hal.h"
+#include "hal/slab_arena.h"
 #include "txn/txn.h"
 
 namespace orthrus::lock {
@@ -130,6 +131,13 @@ class LockTable {
     // data-movement overhead of Section 2.1, and it makes latch hold times
     // grow with contention (the feedback loop behind Figure 1's collapse).
     hal::Cycles node_touch_cycles = 40;
+    // Arena backing the bucket array and lock-head pool (NUMA node binding;
+    // both types are trivially destructible, so the arena's no-free model
+    // fits). Must outlive the table. Null keeps owned heap arrays.
+    hal::SlabArena* arena = nullptr;
+    // Modeled socket the bucket latch lines live on (-1 = unplaced); only a
+    // multi-socket SimConfig consults it.
+    int home_socket = -1;
   };
 
   enum class AcquireResult {
@@ -203,8 +211,10 @@ class LockTable {
 
   Config config_;
   std::uint64_t bucket_mask_;
-  std::unique_ptr<Bucket[]> buckets_;
-  std::unique_ptr<LockHead[]> head_pool_;
+  std::unique_ptr<Bucket[]> owned_buckets_;     // heap fallback (no arena)
+  std::unique_ptr<LockHead[]> owned_head_pool_;
+  Bucket* buckets_ = nullptr;
+  LockHead* head_pool_ = nullptr;
   std::uint64_t heads_per_worker_ = 0;
   std::vector<std::unique_ptr<WorkerLockCtx>> workers_;
 };

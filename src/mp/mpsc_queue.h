@@ -44,12 +44,22 @@ class MpscQueue {
   // The trade: up to kMsgsPerLine - 1 slots of padding per push (worst at
   // single-message sends), so capacity bounds must be multiplied by the
   // line size, and `skip` must be a value no producer ever enqueues.
+  // The optional (arena, home_socket) pair NUMA-places the payload blocks
+  // and tags them for the sim's distance model — see detail::LineRing. The
+  // queue's own index lines stay wherever the queue object lives; receivers
+  // construct their meshes, so first-touch already puts those right.
   explicit MpscQueue(std::size_t capacity, bool line_aligned = false,
-                     T skip = T())
+                     T skip = T(), hal::SlabArena* arena = nullptr,
+                     int home_socket = -1)
       : capacity_(capacity),
         line_aligned_(line_aligned),
         skip_(skip),
-        ring_(capacity) {
+        ring_(capacity, arena, home_socket) {
+    if (home_socket >= 0) {
+      reserve_.SetHomeRaw(home_socket);
+      tail_.SetHomeRaw(home_socket);
+      head_.SetHomeRaw(home_socket);
+    }
     if (line_aligned) {
       // A power-of-two capacity >= one line is automatically a whole
       // number of lines, which the alignment invariant needs.

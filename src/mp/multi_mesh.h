@@ -61,6 +61,13 @@ class MultiMesh {
   // policy exists to avoid.
   static constexpr int kMaxAutoShards = 8;
 
+  // NUMA placement for one receiver's rings: the arena backing the payload
+  // blocks and the modeled socket they live on (see MpscQueue). Optional.
+  struct ReceiverPlacement {
+    hal::SlabArena* arena = nullptr;
+    int home_socket = -1;
+  };
+
   MultiMesh() = default;
 
   MultiMesh(int receivers, std::size_t capacity, int shards = 1) {
@@ -85,9 +92,19 @@ class MultiMesh {
   // carried a sender may still hold undrained messages. Note the capacity
   // bound: with an adaptive modulus any ring may in the worst case serve
   // the whole population, so size `capacity` for all senders on one ring.
-  void Reset(int receivers, std::size_t capacity, int shards = 1) {
+  // `line_aligned`/`skip` select MpscQueue's whole-line reservation mode
+  // for every ring (capacity bounds must then be multiplied by
+  // kMsgsPerLine; `skip` must be a value no sender ever enqueues).
+  // `placement`, when non-null, must have one entry per receiver and NUMA-
+  // places each receiver's rings. Defaults reproduce the historical mesh
+  // exactly.
+  void Reset(int receivers, std::size_t capacity, int shards = 1,
+             bool line_aligned = false, T skip = T(),
+             const std::vector<ReceiverPlacement>* placement = nullptr) {
     ORTHRUS_CHECK(receivers >= 1);
     ORTHRUS_CHECK(shards >= 0);
+    ORTHRUS_CHECK(placement == nullptr ||
+                  placement->size() == static_cast<std::size_t>(receivers));
     active_senders_.RawStore(0);
     registrations_total_.RawStore(0);
     adaptive_ = shards == 0;
@@ -97,7 +114,11 @@ class MultiMesh {
     queues_.clear();
     queues_.reserve(static_cast<std::size_t>(receivers) * shards_);
     for (int i = 0; i < receivers * shards_; ++i) {
-      queues_.push_back(std::make_unique<MpscQueue<T>>(capacity));
+      const ReceiverPlacement p =
+          placement != nullptr ? (*placement)[i / shards_]
+                               : ReceiverPlacement{};
+      queues_.push_back(std::make_unique<MpscQueue<T>>(
+          capacity, line_aligned, skip, p.arena, p.home_socket));
     }
   }
 

@@ -7,7 +7,8 @@ Table* Database::CreateTable(std::uint32_t id, std::string name,
                              int num_partitions) {
   ORTHRUS_CHECK_MSG(id == tables_.size(), "table ids must be dense");
   tables_.push_back(std::make_unique<Table>(id, std::move(name), capacity,
-                                            row_bytes, num_partitions));
+                                            row_bytes, num_partitions,
+                                            arena_));
   return tables_.back().get();
 }
 

@@ -11,7 +11,8 @@ constexpr std::uint64_t kEmptyKey = ~0ull;
 }  // namespace
 
 Table::Table(std::uint32_t id, std::string name, std::uint64_t capacity,
-             std::uint32_t row_bytes, int num_partitions)
+             std::uint32_t row_bytes, int num_partitions,
+             hal::SlabArena* arena)
     : id_(id),
       name_(std::move(name)),
       capacity_(capacity),
@@ -21,8 +22,15 @@ Table::Table(std::uint32_t id, std::string name, std::uint64_t capacity,
   ORTHRUS_CHECK(capacity >= 1);
   ORTHRUS_CHECK(row_bytes >= 8);
   ORTHRUS_CHECK(num_partitions >= 1);
-  rows_ = std::make_unique<std::uint8_t[]>(capacity * row_stride_);
-  std::memset(rows_.get(), 0, capacity * row_stride_);
+  if (arena != nullptr) {
+    // Arena storage is already zeroed (fresh mmap pages, no reuse).
+    rows_ = static_cast<std::uint8_t*>(
+        arena->Allocate(capacity * row_stride_, kCacheLineSize));
+  } else {
+    owned_rows_ = std::make_unique<std::uint8_t[]>(capacity * row_stride_);
+    std::memset(owned_rows_.get(), 0, capacity * row_stride_);
+    rows_ = owned_rows_.get();
+  }
 
   // Size each partition's index for the worst case (all rows in one
   // partition would still fit); 2x occupancy headroom keeps probes short.

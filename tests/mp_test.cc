@@ -1599,7 +1599,7 @@ TEST(MultiMeshAdaptive, SimChurnIsDeterministic) {
 // hal::SpinStallSink: one stall per blocked Send call, plus the cycles the
 // wedge-spin waited. Sends that never block charge nothing — the sink is
 // pure observability (WorkerPool installs one per worker and folds it into
-// WorkerStats::send_stalls; TxnAdmission::BackpressureStalls reads it live).
+// WorkerStats::send_stalls; TxnAdmission::StallsDelta reads it live).
 TEST(QueueMesh, BlockingSendChargesTheStallSink) {
   constexpr std::size_t kCap = 16;
   constexpr hal::Cycles kConsumerDelay = 20000;
