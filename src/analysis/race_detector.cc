@@ -1,0 +1,167 @@
+#include "analysis/race_detector.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace orthrus::analysis {
+
+namespace {
+constexpr std::uintptr_t kGranuleBytes = 8;
+
+std::uintptr_t FirstGranule(const void* addr) {
+  return reinterpret_cast<std::uintptr_t>(addr) / kGranuleBytes;
+}
+
+std::uintptr_t LastGranule(const void* addr, std::size_t bytes) {
+  const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+  return (a + (bytes == 0 ? 0 : bytes - 1)) / kGranuleBytes;
+}
+
+const char* SafeLabel(const char* label) {
+  return label != nullptr ? label : "(unlabeled)";
+}
+}  // namespace
+
+std::string RaceReport::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "data race on %#" PRIxPTR ": core %d %s '%s' @%" PRIu64
+      " vs core %d %s '%s' @%" PRIu64,
+      addr, current.core, current.is_write ? "write" : "read",
+      SafeLabel(current.label), current.time, prior.core,
+      prior.is_write ? "write" : "read", SafeLabel(prior.label), prior.time);
+  return std::string(buf);
+}
+
+RaceDetector::RaceDetector(int num_cores, std::size_t max_reports)
+    : num_cores_(num_cores), max_reports_(max_reports) {
+  ORTHRUS_CHECK(num_cores >= 1);
+  core_vc_.resize(static_cast<std::size_t>(num_cores));
+  for (int c = 0; c < num_cores; ++c) {
+    core_vc_[c].assign(static_cast<std::size_t>(num_cores), 0);
+    // Epochs start at 1: clock 0 in shadow state means "never accessed",
+    // and anything recorded before the cores start (there is nothing — the
+    // hooks are per-core) would be ordered before all of them.
+    core_vc_[c][c] = 1;
+  }
+}
+
+void RaceDetector::Join(VectorClock& into, const VectorClock& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+void RaceDetector::OnSyncAccess(const void* var, SyncOp op, int core) {
+  ORTHRUS_DCHECK(core >= 0 && core < num_cores_);
+  VectorClock& me = core_vc_[core];
+  switch (op) {
+    case SyncOp::kAcquire: {
+      auto it = sync_.find(var);
+      if (it != sync_.end()) Join(me, it->second);
+      break;
+    }
+    case SyncOp::kRelease: {
+      Join(sync_[var], me);
+      me[static_cast<std::size_t>(core)]++;
+      break;
+    }
+    case SyncOp::kAcqRel: {
+      VectorClock& sv = sync_[var];
+      Join(me, sv);
+      Join(sv, me);
+      me[static_cast<std::size_t>(core)]++;
+      break;
+    }
+  }
+}
+
+void RaceDetector::OnPlainAccess(const void* addr, std::size_t bytes,
+                                 bool is_write, const char* label, int core,
+                                 std::uint64_t time) {
+  if (bytes == 0) return;
+  ORTHRUS_DCHECK(core >= 0 && core < num_cores_);
+  const VectorClock& me = core_vc_[core];
+  const std::uint64_t my_clock = me[static_cast<std::size_t>(core)];
+  const RaceAccess cur{core, is_write, label, time};
+
+  const std::uintptr_t first = FirstGranule(addr);
+  const std::uintptr_t last = LastGranule(addr, bytes);
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    Shadow& s = shadow_[g];
+
+    // Write-write / read-write against the last recorded write.
+    if (s.write.core >= 0 && s.write.core != core &&
+        s.write_clock > me[static_cast<std::size_t>(s.write.core)]) {
+      Report(g * kGranuleBytes, s.write, cur);
+    }
+
+    if (is_write) {
+      // Write-read against every read since the last write.
+      for (std::size_t i = 0; i < s.reads.size(); ++i) {
+        const RaceAccess& r = s.reads[i];
+        if (r.core != core &&
+            s.read_clocks[i] > me[static_cast<std::size_t>(r.core)]) {
+          Report(g * kGranuleBytes, r, cur);
+        }
+      }
+      s.write = cur;
+      s.write_clock = my_clock;
+      s.reads.clear();
+      s.read_clocks.clear();
+    } else {
+      // Record (or refresh) this core's read.
+      bool found = false;
+      for (std::size_t i = 0; i < s.reads.size(); ++i) {
+        if (s.reads[i].core == core) {
+          s.reads[i] = cur;
+          s.read_clocks[i] = my_clock;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        s.reads.push_back(cur);
+        s.read_clocks.push_back(my_clock);
+      }
+    }
+  }
+}
+
+void RaceDetector::ForgetRange(const void* addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uintptr_t first = FirstGranule(addr);
+  const std::uintptr_t last = LastGranule(addr, bytes);
+  for (std::uintptr_t g = first; g <= last; ++g) shadow_.erase(g);
+}
+
+void RaceDetector::Report(std::uintptr_t granule_addr,
+                          const RaceAccess& prior, const RaceAccess& current) {
+  races_observed_++;
+  // One report per granule: a racy handoff re-detects on every subsequent
+  // access pair, which would bury distinct findings under repeats.
+  bool seen = false;
+  for (const RaceReport& r : reports_) {
+    if (r.addr == granule_addr) {
+      seen = true;
+      break;
+    }
+  }
+  if (!seen && reports_.size() < max_reports_) {
+    RaceReport rep;
+    rep.addr = granule_addr;
+    rep.prior = prior;
+    rep.current = current;
+    reports_.push_back(rep);
+    if (report_fatal_) {
+      std::fprintf(stderr, "[race_detect] %s\n",
+                   reports_.back().ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+}  // namespace orthrus::analysis

@@ -45,6 +45,51 @@ inline constexpr std::size_t kCacheLineSize = 64;
   } while (0)
 #endif
 
+// ---------------------------------------------------------------------
+// Clang Thread Safety Analysis annotations (-Wthread-safety). No-ops under
+// GCC; CI runs a clang lane with -Werror=thread-safety so a lock-discipline
+// violation (touching a GUARDED_BY field without its capability, unbalanced
+// acquire/release) fails the build. The annotations are compile-time only —
+// they change nothing about codegen on either compiler.
+//
+// Static analysis and the sim race detector split the work: annotations
+// prove latch discipline where a latch exists (lock tables, CC buckets);
+// the detector checks the message-passing / epoch-handoff protocols whose
+// dynamic ownership has no lock to annotate.
+#if defined(__clang__)
+#define ORTHRUS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ORTHRUS_THREAD_ANNOTATION(x)
+#endif
+
+// On the class: this type is a lockable capability (e.g. hal::SpinLock).
+#define ORTHRUS_CAPABILITY(x) ORTHRUS_THREAD_ANNOTATION(capability(x))
+// On an RAII guard class whose constructor acquires and destructor releases.
+#define ORTHRUS_SCOPED_CAPABILITY ORTHRUS_THREAD_ANNOTATION(scoped_lockable)
+// On a field: may only be touched while holding the named capability.
+#define ORTHRUS_GUARDED_BY(x) ORTHRUS_THREAD_ANNOTATION(guarded_by(x))
+// On a pointer field: the pointee is guarded (the pointer itself is not).
+#define ORTHRUS_PT_GUARDED_BY(x) ORTHRUS_THREAD_ANNOTATION(pt_guarded_by(x))
+// On a function: caller must hold the capability.
+#define ORTHRUS_REQUIRES(...) \
+  ORTHRUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// On a function: acquires / releases the capability.
+#define ORTHRUS_ACQUIRE(...) \
+  ORTHRUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ORTHRUS_RELEASE(...) \
+  ORTHRUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// On a function: must NOT be called with the capability held.
+#define ORTHRUS_EXCLUDES(...) \
+  ORTHRUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// On a function: returns a reference to the named capability.
+#define ORTHRUS_RETURN_CAPABILITY(x) \
+  ORTHRUS_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch for flows the static analysis cannot follow (conditional
+// acquisition, capabilities handed across fibers). Use sparingly and say
+// why at the use site.
+#define ORTHRUS_NO_THREAD_SAFETY_ANALYSIS \
+  ORTHRUS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
 // Returns true iff v is a power of two (and nonzero).
 constexpr bool IsPowerOfTwo(std::uint64_t v) {
   return v != 0 && (v & (v - 1)) == 0;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/autotune.h"
+#include "hal/hal.h"
 #include "hal/slab_arena.h"
 #include "hal/topology.h"
 #include "lock/space_map.h"
@@ -314,6 +315,10 @@ class SharedCcTable {
   // Continues tcb's ordered acquisition from tcb->next_acq. Returns true
   // once every lock is granted. Must be called by a CC core.
   bool ContinueAcquire(Tcb* tcb) {
+    // Whichever CC thread granted the parked request owns the transaction's
+    // acquisition cursor now; the bucket latch hand-off is the sync edge.
+    hal::RaceCheck(&tcb->next_acq, sizeof(tcb->next_acq), /*is_write=*/true,
+                   "orthrus.tcb.next_acq");
     Txn& t = tcb->txn;
     while (tcb->next_acq < static_cast<int>(t.accesses.size())) {
       const Access& a = t.accesses[tcb->next_acq];
@@ -370,6 +375,8 @@ class SharedCcTable {
                                      : !x_seen;
           if (!grantable) break;
           f->granted = true;
+          hal::RaceCheck(&f->tcb->next_acq, sizeof(f->tcb->next_acq),
+                         /*is_write=*/true, "orthrus.tcb.next_acq");
           f->tcb->next_acq++;  // the lock it was parked on
           runnable->push_back(f->tcb);
         }
@@ -382,7 +389,7 @@ class SharedCcTable {
  private:
   struct alignas(kCacheLineSize) Bucket {
     hal::SpinLock latch;
-    ScLock* chain = nullptr;
+    ScLock* chain ORTHRUS_GUARDED_BY(latch) = nullptr;
   };
 
   static std::size_t Hash(std::uint32_t table, std::uint64_t key) {
@@ -391,7 +398,8 @@ class SharedCcTable {
     return static_cast<std::size_t>(h ^ (h >> 32));
   }
 
-  ScLock* FindOrCreate(Bucket* b, std::uint32_t table, std::uint64_t key) {
+  ScLock* FindOrCreate(Bucket* b, std::uint32_t table, std::uint64_t key)
+      ORTHRUS_REQUIRES(b->latch) {
     for (ScLock* l = b->chain; l != nullptr; l = l->next_in_bucket) {
       if (l->key == key && l->table == table) return l;
     }
@@ -877,7 +885,21 @@ class CcThread {
   // table. Returns true when every lock was granted immediately; otherwise
   // records tcb->pending (a later release's grant sweep advances it).
   bool AcquireStage(Tcb* tcb) {
+    // Race-detector tags (free when race_detect is off): the CC thread
+    // holding the in-flight kAcquire owns cur_stage, the stage entry, and
+    // the stage's reqs slice; the mesh message that carried the tcb here is
+    // the happens-before edge. Tag granularity is the stage slice, never
+    // the whole tcb — other CC threads legally touch their own disjoint
+    // slices concurrently during release fan-out.
+    hal::RaceCheck(&tcb->cur_stage, sizeof(tcb->cur_stage),
+                   /*is_write=*/false, "orthrus.tcb.stage");
     const Stage& stage = tcb->stages[tcb->cur_stage];
+    hal::RaceCheck(&stage, sizeof(stage), /*is_write=*/false,
+                   "orthrus.tcb.stages");
+    hal::RaceCheck(&tcb->reqs[stage.begin],
+                   sizeof(CcRequest*) *
+                       static_cast<std::size_t>(stage.end - stage.begin),
+                   /*is_write=*/true, "orthrus.tcb.reqs");
     ORTHRUS_DCHECK(shared_->elastic_cc || stage.part == cc_id_);
     CcShard* shard =
         shared_->elastic_cc ? shared_->space->shard(stage.part) : nullptr;
@@ -917,7 +939,11 @@ class CcThread {
         held_++;
       }
     }
-    if (pending != 0) tcb->pending = pending;
+    if (pending != 0) {
+      hal::RaceCheck(&tcb->pending, sizeof(tcb->pending), /*is_write=*/true,
+                     "orthrus.tcb.pending");
+      tcb->pending = pending;
+    }
     return pending == 0;
   }
 
@@ -969,6 +995,14 @@ class CcThread {
   // unblocked followers and updating the matching held-lock counter.
   void ReleaseStage(Tcb* tcb, const Stage& stage, CcLockTable& locks,
                     std::uint64_t& held) {
+    // Concurrent releases of *other* stages are legal; this tag covers only
+    // this stage's slice (disjoint 8-byte granules per request pointer).
+    hal::RaceCheck(&stage, sizeof(stage), /*is_write=*/false,
+                   "orthrus.tcb.stages");
+    hal::RaceCheck(&tcb->reqs[stage.begin],
+                   sizeof(CcRequest*) *
+                       static_cast<std::size_t>(stage.end - stage.begin),
+                   /*is_write=*/true, "orthrus.tcb.reqs");
     for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
       hal::ConsumeCycles(shared_->cc_op_cycles);
       CcRequest* r = tcb->reqs[i];
@@ -1017,6 +1051,8 @@ class CcThread {
         if (!grantable) break;
         r->granted = true;
         Tcb* t = r->tcb;
+        hal::RaceCheck(&t->pending, sizeof(t->pending), /*is_write=*/true,
+                       "orthrus.tcb.pending");
         ORTHRUS_DCHECK(t->pending > 0);
         if (--t->pending == 0) Advance(t);
       }
@@ -1054,6 +1090,8 @@ class CcThread {
         stats_->messages_sent++;
         return;
       }
+      hal::RaceCheck(&tcb->cur_stage, sizeof(tcb->cur_stage),
+                     /*is_write=*/true, "orthrus.tcb.stage");
       tcb->cur_stage = next;
       const int part = tcb->stages[next].part;
       if (shared_->elastic_cc) {
@@ -1322,6 +1360,8 @@ class ExecThread {
             case kStageDone: {
               // Non-forwarding mode: we mediate the next hop ourselves.
               Tcb* tcb = DecodeTcb(w);
+              hal::RaceCheck(&tcb->cur_stage, sizeof(tcb->cur_stage),
+                             /*is_write=*/true, "orthrus.tcb.stage");
               tcb->cur_stage++;
               ORTHRUS_DCHECK(tcb->cur_stage < tcb->n_stages);
               SendAcquire(tcb, RouteTo(tcb->stages[tcb->cur_stage].part));
@@ -1382,6 +1422,8 @@ class ExecThread {
     ORTHRUS_CHECK(t.accesses.size() <= kMaxAccesses);
     if (shared_->shared_cc != nullptr) {
       std::sort(t.accesses.begin(), t.accesses.end(), txn::AccessKeyOrder());
+      hal::RaceCheck(&tcb->next_acq, sizeof(tcb->next_acq), /*is_write=*/true,
+                     "orthrus.tcb.next_acq");
       tcb->next_acq = 0;
       tcb->home_cc = static_cast<int>(rr_counter_++ %
                                       static_cast<std::uint64_t>(shared_->n_cc));
@@ -1415,6 +1457,13 @@ class ExecThread {
       }
     }
     ORTHRUS_CHECK(tcb->n_stages > 0);
+    // Slot reuse: the previous occupant's CC-side touches happen-before
+    // this dispatch via the ack messages that freed the slot.
+    hal::RaceCheck(&tcb->cur_stage, sizeof(tcb->cur_stage), /*is_write=*/true,
+                   "orthrus.tcb.stage");
+    hal::RaceCheck(&tcb->stages[0],
+                   sizeof(Stage) * static_cast<std::size_t>(tcb->n_stages),
+                   /*is_write=*/true, "orthrus.tcb.stages");
     tcb->cur_stage = 0;
     inflight_++;
     shared_->inflight_global.fetch_add(1);
@@ -1454,6 +1503,8 @@ class ExecThread {
     }
 
     t0 = hal::Now();
+    hal::RaceCheck(&tcb->pending_acks, sizeof(tcb->pending_acks),
+                   /*is_write=*/true, "orthrus.tcb.acks");
     if (shared_->shared_cc != nullptr) {
       tcb->pending_acks = 1;
       SendCc(tcb->home_cc, Encode(tcb, kRelease));
@@ -1472,6 +1523,8 @@ class ExecThread {
   }
 
   void OnAck(Tcb* tcb) {
+    hal::RaceCheck(&tcb->pending_acks, sizeof(tcb->pending_acks),
+                   /*is_write=*/true, "orthrus.tcb.acks");
     ORTHRUS_DCHECK(tcb->pending_acks > 0);
     if (--tcb->pending_acks > 0) return;
     if (tcb->replan_pending) {

@@ -31,7 +31,7 @@ class PartitionedStrategy final : public runtime::ExecutionStrategy {
     parts_.erase(std::unique(parts_.begin(), parts_.end()), parts_.end());
 
     hal::Cycles t0 = hal::Now();
-    for (int p : parts_) (*locks_)[p]->Lock();
+    LockFootprint();
     st_->Add(TimeCategory::kLocking, hal::Now() - t0);
 
     t0 = hal::Now();
@@ -45,7 +45,7 @@ class PartitionedStrategy final : public runtime::ExecutionStrategy {
     if (ok && wal_ != nullptr) wal_->Capture(t, db_);
 
     t0 = hal::Now();
-    for (int p : parts_) (*locks_)[p]->Unlock();
+    UnlockFootprint();
     st_->Add(TimeCategory::kLocking, hal::Now() - t0);
 
     return ok ? runtime::TxnOutcome::kCommitted
@@ -53,6 +53,15 @@ class PartitionedStrategy final : public runtime::ExecutionStrategy {
   }
 
  private:
+  // A dynamic, data-dependent lock set is outside what the static analysis
+  // can follow; safety comes from the ascending acquisition order above.
+  void LockFootprint() ORTHRUS_NO_THREAD_SAFETY_ANALYSIS {
+    for (int p : parts_) (*locks_)[p]->Lock();
+  }
+  void UnlockFootprint() ORTHRUS_NO_THREAD_SAFETY_ANALYSIS {
+    for (int p : parts_) (*locks_)[p]->Unlock();
+  }
+
   std::vector<std::unique_ptr<hal::SpinLock>>* locks_;
   storage::Database* db_;
   WorkerStats* st_;

@@ -1,7 +1,6 @@
 #include "engine/sharedcc/sharedcc_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -31,9 +30,12 @@ struct ShardLock {
 // A worker's request node. Queue links are latch-protected; `granted` is
 // the one cross-core word read outside the latch — the waiter spins on it
 // locally (the paper's local-spinning FIFO handoff) and the releaser's
-// latched grant sweep flips it with a release store.
+// latched grant sweep flips it with a release store. hal::Atomic, not raw
+// std::atomic: the handoff line transfer is a real coherence cost the
+// simulator must charge, and the store/load pair is the happens-before
+// edge the race detector checks row accesses against.
 struct ShardReq {
-  std::atomic<int> granted{0};
+  hal::Atomic<int> granted;
   ShardReq* next = nullptr;
   ShardReq* prev = nullptr;
   ShardLock* lock = nullptr;
@@ -61,7 +63,8 @@ struct LockKeyHash {
 // map, so ShardLock addresses are stable while requests point at them.
 struct alignas(kCacheLineSize) Shard {
   hal::SpinLock latch;
-  std::unordered_map<LockKey, ShardLock, LockKeyHash> locks;
+  std::unordered_map<LockKey, ShardLock, LockKeyHash> locks
+      ORTHRUS_GUARDED_BY(latch);
 };
 
 // One attempt: sort the pre-declared access set by (partition, table,
@@ -136,12 +139,12 @@ class SharedCcStrategy final : public runtime::ExecutionStrategy {
     lock.tail = r;
     lock.queued_total++;
     if (a.mode == LockMode::kExclusive) lock.queued_x++;
-    r->granted.store(grantable ? 1 : 0, std::memory_order_release);
+    r->granted.store(grantable ? 1 : 0);
     s.latch.Unlock();
     if (!grantable) {
       stats_->lock_waits++;
       const hal::Cycles w0 = hal::Now();
-      while (r->granted.load(std::memory_order_acquire) == 0) {
+      while (r->granted.load() == 0) {
         hal::CpuRelax();
       }
       stats_->Add(TimeCategory::kWaiting, hal::Now() - w0);
@@ -171,12 +174,12 @@ class SharedCcStrategy final : public runtime::ExecutionStrategy {
       // Grant the now-leading compatible run (strict FIFO, no bypassing).
       bool x_seen = false;
       for (ShardReq* f = lock->head; f != nullptr; f = f->next) {
-        if (f->granted.load(std::memory_order_relaxed) == 0) {
+        if (f->granted.load() == 0) {
           const bool grantable = f->mode == LockMode::kExclusive
                                      ? f == lock->head
                                      : !x_seen;
           if (!grantable) break;
-          f->granted.store(1, std::memory_order_release);
+          f->granted.store(1);
         }
         if (f->mode == LockMode::kExclusive) x_seen = true;
       }

@@ -23,6 +23,7 @@
 #define ORTHRUS_HAL_HAL_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <type_traits>
@@ -54,6 +55,10 @@ struct CoreContext {
   // Optional stall-accounting sink for blocking queue sends (observability
   // only: installing one never changes modeled costs).
   SpinStallSink* send_stall_sink = nullptr;
+  // True only under SimConfig::race_detect: hal::RaceCheck forwards plain
+  // accesses to the platform's race detector. One predictable branch when
+  // off — RaceCheck costs nothing in production paths.
+  bool race_check = false;
 };
 
 // Returns the current logical core, or nullptr when called from setup code
@@ -78,6 +83,15 @@ struct LineMeta {
   // Consulted only by a multi-socket SimConfig, and only when no core owns
   // the line yet (after that the owner's socket decides transfer distance).
   std::int8_t home = -1;
+  // Whether accesses through this line establish happens-before edges for
+  // the race detector (SimConfig::race_detect). True for every hal::Atomic —
+  // their loads/stores really are acquire/release. mp::detail::LineRing
+  // clears it on its payload lines: the payload words are *relaxed*, their
+  // ordering is carried by the queue-index atomics, so treating the payload
+  // touch itself as a sync edge would mask exactly the publication races the
+  // detector exists to find. Fits in struct padding; the cost model never
+  // reads it.
+  bool sync_var = true;
   Bitset128 readers;         // cores holding a (possibly shared) copy
   Cycles busy_until = 0;     // line occupied by in-flight atomic RMWs
 };
@@ -132,6 +146,19 @@ class Platform {
     (void)device;
     (void)bytes;
   }
+
+  // Declares a *plain* (non-atomic) access to shared payload memory for
+  // race detection. Charges no cycles and is not a scheduling point; the
+  // default (and the native platform, where TSan covers plain memory) is a
+  // no-op. Reached only through hal::RaceCheck, which gates on
+  // CoreContext::race_check.
+  virtual void OnPlainAccess(const void* addr, std::size_t bytes,
+                             bool is_write, const char* label) {
+    (void)addr;
+    (void)bytes;
+    (void)is_write;
+    (void)label;
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -163,6 +190,20 @@ inline void OnStorageSync(StorageMeta* device, std::uint64_t bytes) {
 inline int CoreId() {
   CoreContext* cc = CurrentCore();
   return cc != nullptr ? cc->core_id : -1;
+}
+
+// Declares a plain access to cross-core payload memory — record rows under
+// logical locks, ring payload words, TCB fields riding messages, WAL
+// fragment buffers — so the simulator's race detector can verify the
+// protecting protocol actually orders it. `label` names the site in race
+// reports (use a stable string literal, e.g. "kv.row"). Free when the
+// detector is off (one branch) and off-core (setup/loader code: skipped).
+inline void RaceCheck(const void* addr, std::size_t bytes, bool is_write,
+                      const char* label) {
+  CoreContext* cc = CurrentCore();
+  if (cc != nullptr && ORTHRUS_UNLIKELY(cc->race_check)) {
+    cc->platform->OnPlainAccess(addr, bytes, is_write, label);
+  }
 }
 
 // Cheap deterministic per-core jitter in [0, bound). Spin loops add it to
@@ -252,11 +293,11 @@ class alignas(kCacheLineSize) Atomic {
 // serialized RMWs and the handoff invalidations produce the contention
 // behaviour behind the paper's Figure 1.
 
-class SpinLock {
+class ORTHRUS_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
 
-  void Lock() {
+  void Lock() ORTHRUS_ACQUIRE() {
     const std::uint32_t my = next_.fetch_add(1);
     Cycles backoff = 0;
     while (serving_.load() != my) {
@@ -266,7 +307,7 @@ class SpinLock {
     }
   }
 
-  void Unlock() {
+  void Unlock() ORTHRUS_RELEASE() {
     // Only the holder writes `serving_`, so the increment is race-free; the
     // RMW's invalidation of all spinning waiters is the modeled handoff.
     serving_.fetch_add(1);
@@ -289,10 +330,12 @@ class SpinLock {
 };
 
 // RAII guard for SpinLock.
-class SpinLockGuard {
+class ORTHRUS_SCOPED_CAPABILITY SpinLockGuard {
  public:
-  explicit SpinLockGuard(SpinLock& l) : l_(l) { l_.Lock(); }
-  ~SpinLockGuard() { l_.Unlock(); }
+  explicit SpinLockGuard(SpinLock& l) ORTHRUS_ACQUIRE(l) : l_(l) {
+    l_.Lock();
+  }
+  ~SpinLockGuard() ORTHRUS_RELEASE() { l_.Unlock(); }
   SpinLockGuard(const SpinLockGuard&) = delete;
   SpinLockGuard& operator=(const SpinLockGuard&) = delete;
 

@@ -4,16 +4,23 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/race_detector.h"
+
 namespace orthrus::hal {
 
 SimPlatform::SimPlatform(int num_cores, SimConfig config)
     : num_cores_(num_cores), config_(config), cores_(num_cores) {
   ORTHRUS_CHECK(num_cores >= 1 && num_cores <= Bitset128::kBits);
   ORTHRUS_CHECK(config_.sockets >= 1);
+  if (config_.race_detect) {
+    detector_ = std::make_unique<analysis::RaceDetector>(num_cores);
+    detector_->set_report_fatal(config_.race_report_fatal);
+  }
   for (int i = 0; i < num_cores; ++i) {
     cores_[i].context.platform = this;
     cores_[i].context.core_id = i;
     cores_[i].context.jitter_state = 0x9E3779B97F4A7C15ull * (i + 1) + 1;
+    cores_[i].context.race_check = config_.race_detect;
   }
 }
 
@@ -103,6 +110,21 @@ void SimPlatform::OnAtomicAccess(LineMeta* line, MemOp op) {
   SimCore& core = cores_[current_];
   const int me = current_;
   const Cycles t = core.local_now;
+
+  // Happens-before bookkeeping (race_detect only): modeled atomics with
+  // acquire/release semantics are the sync edges plain-payload accesses are
+  // checked against. mp ring payload lines opt out (LineMeta::sync_var) —
+  // their words are relaxed, ordered only by the queue indices. No cycles
+  // are charged: detection must not move the schedule.
+  if (detector_ != nullptr && line->sync_var) {
+    detector_->OnSyncAccess(
+        line,
+        op == MemOp::kLoad    ? analysis::SyncOp::kAcquire
+        : op == MemOp::kStore ? analysis::SyncOp::kRelease
+                              : analysis::SyncOp::kAcqRel,
+        me);
+  }
+
   const bool exclusive_here = line->owner == me && line->readers.Test(me) &&
                               !line->readers.AnyOtherThan(me);
   // Multi-socket model: a transfer is same-socket when the line's current
@@ -224,6 +246,18 @@ void SimPlatform::OnStorageSync(StorageMeta* device, std::uint64_t bytes) {
   // The caller blocks until its data is stable — that is the whole point of
   // a sync, and what group commit amortizes.
   core.local_now = start + service;
+}
+
+void SimPlatform::OnPlainAccess(const void* addr, std::size_t bytes,
+                                bool is_write, const char* label) {
+  // Not a scheduling point and charges nothing: plain accesses are already
+  // paid for via ConsumeCycles by the callers, and the detector must see
+  // the same event order whether it is on or off. Reached only from a
+  // running core (hal::RaceCheck gates on CoreContext::race_check, which is
+  // only set when the detector exists).
+  ORTHRUS_DCHECK(current_ >= 0 && detector_ != nullptr);
+  detector_->OnPlainAccess(addr, bytes, is_write, label, current_,
+                           cores_[current_].local_now);
 }
 
 }  // namespace orthrus::hal

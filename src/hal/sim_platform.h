@@ -25,6 +25,10 @@
 #include "hal/fiber.h"
 #include "hal/hal.h"
 
+namespace orthrus::analysis {
+class RaceDetector;
+}  // namespace orthrus::analysis
+
 namespace orthrus::hal {
 
 // Cost model. Defaults approximate the paper's testbed — an 8-socket Intel
@@ -64,6 +68,17 @@ struct SimConfig {
   Cycles storage_sync_base_cycles = 16000;
   Cycles storage_sync_line_cycles = 4;   // per 64B written since last sync
   std::size_t fiber_stack_bytes = 256 * 1024;
+  // Happens-before race detection (analysis::RaceDetector): modeled atomic
+  // accesses become vector-clock sync edges and hal::RaceCheck'd plain
+  // accesses are verified against them. Detection charges no cycles and
+  // never yields, so turning it on does not perturb the schedule — and off
+  // (the default) the detector is never constructed and every hook is a
+  // single untaken branch: clocks and digests stay byte-identical.
+  bool race_detect = false;
+  // With race_detect: print and abort on the first race instead of
+  // accumulating reports. The CI race arm runs the engine suites this way
+  // so a regression fails at the exact virtual timestamp it happens.
+  bool race_report_fatal = false;
 };
 
 // Aggregate simulator counters (for micro-benchmarks and tests).
@@ -97,11 +112,18 @@ class SimPlatform final : public Platform {
   void CpuRelax() override;
   void OnAtomicAccess(LineMeta* line, MemOp op) override;
   void OnStorageSync(StorageMeta* device, std::uint64_t bytes) override;
+  void OnPlainAccess(const void* addr, std::size_t bytes, bool is_write,
+                     const char* label) override;
 
   // Virtual time of the most recently dispatched event.
   Cycles GlobalClock() const { return clock_; }
   const SimStats& stats() const { return stats_; }
   const SimConfig& config() const { return config_; }
+
+  // Race detector, or nullptr unless SimConfig::race_detect. Inspect its
+  // reports() after Run() — the schedule is deterministic, so the first
+  // report of a given seed/config is always the same race.
+  analysis::RaceDetector* race_detector() { return detector_.get(); }
 
   // Modeled socket of a core (0 on a single-socket config). Matches
   // Topology::Modeled(num_cores, config.sockets) so placement decisions and
@@ -144,6 +166,7 @@ class SimPlatform final : public Platform {
   void* sched_sp_ = nullptr;
   bool ran_ = false;
   SimStats stats_;
+  std::unique_ptr<analysis::RaceDetector> detector_;  // race_detect only
 };
 
 }  // namespace orthrus::hal

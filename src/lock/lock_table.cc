@@ -11,8 +11,9 @@ LockTable::LockTable(Config config) : config_(config) {
     head_pool_ =
         config_.arena->AllocateArray<LockHead>(config_.max_lock_heads);
   } else {
-    owned_buckets_ = std::make_unique<Bucket[]>(n);
-    owned_head_pool_ = std::make_unique<LockHead[]>(config_.max_lock_heads);
+    owned_buckets_ = std::make_unique<Bucket[]>(n);  // lint:allow-alloc setup
+    owned_head_pool_ =  // lint:allow-alloc setup
+        std::make_unique<LockHead[]>(config_.max_lock_heads);
     buckets_ = owned_buckets_.get();
     head_pool_ = owned_head_pool_.get();
   }
@@ -34,7 +35,7 @@ WorkerLockCtx::~WorkerLockCtx() = default;
 WorkerLockCtx* LockTable::RegisterWorker(int id, WorkerStats* stats) {
   ORTHRUS_CHECK(id >= 0 && id < config_.max_workers);
   ORTHRUS_CHECK_MSG(workers_[id] == nullptr, "worker registered twice");
-  workers_[id] = std::make_unique<WorkerLockCtx>();
+  workers_[id] = std::make_unique<WorkerLockCtx>();  // lint:allow-alloc setup
   WorkerLockCtx* ctx = workers_[id].get();
   ctx->worker_id = id;
   ctx->stats = stats;
@@ -133,6 +134,7 @@ Request* LockTable::AllocRequest(WorkerLockCtx* ctx) {
   } else {
     // Cold path: grows the worker's private pool. Never recurs for a key
     // once the pool has warmed to the worker's maximum footprint.
+    // lint:allow-alloc cold path: pool growth, bounded by max footprint
     ctx->owned_requests.push_back(std::make_unique<Request>());
     r = ctx->owned_requests.back().get();
   }

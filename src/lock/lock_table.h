@@ -186,14 +186,15 @@ class LockTable {
  private:
   struct alignas(kCacheLineSize) Bucket {
     hal::SpinLock latch;
-    LockHead* heads = nullptr;
+    LockHead* heads ORTHRUS_GUARDED_BY(latch) = nullptr;
   };
 
   Bucket* BucketFor(std::uint32_t table, std::uint64_t key);
   // Finds or creates the lock head (allocating from ctx's pool shard);
   // bucket latch must be held.
   LockHead* FindOrCreateHead(WorkerLockCtx* ctx, Bucket* b,
-                             std::uint32_t table, std::uint64_t key);
+                             std::uint32_t table, std::uint64_t key)
+      ORTHRUS_REQUIRES(b->latch);
   // True iff no conflicting request precedes `req` in its queue (O(q);
   // used by detection logic and debug checks — the grant paths use the
   // LockHead counters instead).

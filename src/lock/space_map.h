@@ -126,15 +126,15 @@ class SpaceMap {
     shards_.clear();
     shards_.reserve(static_cast<std::size_t>(partitions));
     for (int p = 0; p < partitions; ++p) shards_.push_back(make(p));
-    owner_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(
+    owner_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(  // lint:allow-alloc setup
         static_cast<std::size_t>(partitions));
-    route_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(
+    route_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(  // lint:allow-alloc setup
         static_cast<std::size_t>(partitions));
     for (int p = 0; p < partitions; ++p) {
       owner_[p].RawStore(owners[static_cast<std::size_t>(p)]);
       route_[p].RawStore(owners[static_cast<std::size_t>(p)]);
     }
-    observed_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(
+    observed_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(  // lint:allow-alloc setup
         static_cast<std::size_t>(routers));
     for (int r = 0; r < routers; ++r) observed_[r].RawStore(kInactive);
     version_.RawStore(1);

@@ -56,13 +56,18 @@ class LineRing {
     if (arena != nullptr) {
       lines_ = arena->AllocateArray<Line>(n);
     } else {
-      owned_lines_ = std::make_unique<Line[]>(n);
+      owned_lines_ = std::make_unique<Line[]>(n);  // lint:allow-alloc setup
       lines_ = owned_lines_.get();
     }
-    if (home_socket >= 0) {
-      for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (home_socket >= 0) {
         lines_[i].meta.home = static_cast<std::int8_t>(home_socket);
       }
+      // Payload touches are coherence charges, not synchronization: the
+      // words are relaxed, ordered only by the owning queue's index
+      // atomics. The race detector checks them as plain data instead
+      // (RaceCheck below) — see LineMeta::sync_var.
+      lines_[i].meta.sync_var = false;
     }
   }
 
@@ -75,6 +80,8 @@ class LineRing {
     const std::size_t pos = static_cast<std::size_t>(idx) & mask_;
     Line& line = lines_[pos >> line_shift_];
     TouchLine(&line.meta, hal::MemOp::kStore);
+    hal::RaceCheck(&line.words[pos & word_mask_], sizeof(T), /*is_write=*/true,
+                   "mp.ring.word");
     line.words[pos & word_mask_].store(value, std::memory_order_relaxed);
   }
 
@@ -82,6 +89,8 @@ class LineRing {
     const std::size_t pos = static_cast<std::size_t>(idx) & mask_;
     Line& line = lines_[pos >> line_shift_];
     TouchLine(&line.meta, hal::MemOp::kLoad);
+    hal::RaceCheck(&line.words[pos & word_mask_], sizeof(T),
+                   /*is_write=*/false, "mp.ring.word");
     return line.words[pos & word_mask_].load(std::memory_order_relaxed);
   }
 
@@ -89,7 +98,10 @@ class LineRing {
   // A line-sized block of payload words plus the simulator's coherence
   // metadata for it.
   struct alignas(kCacheLineSize) Line {
-    std::atomic<T> words[kMsgsPerLine];
+    // Raw std::atomic is deliberate here: the line is modeled explicitly
+    // via TouchLine against `meta`, amortizing one hal::Atomic-equivalent
+    // charge over kMsgsPerLine words (the whole point of line packing).
+    std::atomic<T> words[kMsgsPerLine];  // lint:allow-raw-atomic
     hal::LineMeta meta;
   };
 

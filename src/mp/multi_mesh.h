@@ -117,7 +117,7 @@ class MultiMesh {
       const ReceiverPlacement p =
           placement != nullptr ? (*placement)[i / shards_]
                                : ReceiverPlacement{};
-      queues_.push_back(std::make_unique<MpscQueue<T>>(
+      queues_.push_back(std::make_unique<MpscQueue<T>>(  // lint:allow-alloc setup
           capacity, line_aligned, skip, p.arena, p.home_socket));
     }
   }

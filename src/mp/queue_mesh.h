@@ -97,7 +97,7 @@ class QueueMesh {
       const ReceiverPlacement p = placement != nullptr
                                       ? (*placement)[i % receivers]
                                       : ReceiverPlacement{};
-      queues_.push_back(
+      queues_.push_back(  // lint:allow-alloc setup
           std::make_unique<SpscQueue<T>>(capacity, p.arena, p.home_socket));
     }
     // Per-receiver depth scratch, pre-sized so the adaptive drain never

@@ -43,6 +43,10 @@ std::uint64_t FrameCheck(std::uint32_t kind, const std::uint8_t* payload,
 void PartitionLogBuffer::AppendFrame(std::uint32_t kind,
                                      const std::uint8_t* payload,
                                      std::uint32_t len) {
+  // Stream-ownership proxy for the race detector: exactly one logger may
+  // append at a time (handoffs carry the SpaceMap owner-word release/
+  // acquire pair). `this` stands in for the heap bytes the vector moves.
+  hal::RaceCheck(this, sizeof(void*), /*is_write=*/true, "wal.stream");
   const std::uint64_t check = FrameCheck(kind, payload, len);
   const std::size_t at = bytes_.size();
   bytes_.resize(at + kFrameHeaderBytes + len);
@@ -69,6 +73,7 @@ void PartitionLogBuffer::AppendSeal(std::uint64_t epoch) {
 }
 
 void PartitionLogBuffer::Sync() {
+  hal::RaceCheck(this, sizeof(void*), /*is_write=*/true, "wal.stream");
   const std::uint64_t delta = bytes_.size() - synced_bytes_;
   hal::OnStorageSync(&device_, delta);
   synced_bytes_ = bytes_.size();
@@ -267,6 +272,10 @@ void GroupCommitLog::RunLogger(int logger_index, runtime::WorkerContext* ctx) {
     // 4. Drain fragments: append to owned streams, stash the rest.
     const std::size_t drained = mesh_.Drain(logger_index, [&](std::uint64_t v) {
       const auto* f = reinterpret_cast<const FragmentMsg*>(v);
+      // The producer's whole-slot write must happen-before this read (the
+      // mesh indices are the edge); slot reuse is additionally ordered by
+      // durable_epoch_ (see Producer::AllocSlot).
+      hal::RaceCheck(f, sizeof(FragmentMsg), /*is_write=*/false, "wal.frag");
       const int p = static_cast<int>(f->hdr.partition);
       ORTHRUS_DCHECK(p >= 0 && p < partitions_);
       if (map_.ShardOwner(p) == me) {
@@ -435,6 +444,10 @@ void Producer::Capture(txn::Txn* t, storage::Database* db) {
       fi = nparts++;
       plist[fi] = p;
       FragmentMsg* f = AllocSlot();
+      // Whole-slot write tag: reuse is only legal once the consuming
+      // logger's epoch went durable, so any earlier logger read must be
+      // ordered before this via durable_epoch_.
+      hal::RaceCheck(f, sizeof(FragmentMsg), /*is_write=*/true, "wal.frag");
       f->hdr = FragmentDiskHeader{epoch,
                                   next_seq_,
                                   static_cast<std::uint32_t>(id_),
@@ -471,6 +484,7 @@ void Producer::Capture(txn::Txn* t, storage::Database* db) {
     // prefix dense, so recovery's per-producer counts (the resume credit)
     // see every commit, not just the writing ones.
     FragmentMsg* f = AllocSlot();
+    hal::RaceCheck(f, sizeof(FragmentMsg), /*is_write=*/true, "wal.frag");
     const std::uint32_t p =
         t->accesses.empty()
             ? 0

@@ -48,6 +48,8 @@ class KvWorkload::RmwLogic final : public txn::TxnLogic {
       // Read-modify-write: bump the row's op counter (verifiable effect)
       // and fold a byte of payload so reads are not dead code.
       std::uint64_t* row = static_cast<std::uint64_t*>(a.row);
+      hal::RaceCheck(row, 2 * sizeof(std::uint64_t), /*is_write=*/true,
+                     "kv.row");
       row[0] += 1;
       row[1] ^= a.key;
     }
@@ -73,7 +75,10 @@ class KvWorkload::ReadLogic final : public txn::TxnLogic {
     std::uint64_t sink = 0;
     for (const txn::Access& a : t->accesses) {
       ctx.ChargeOp(op_cost);
-      sink ^= static_cast<const std::uint64_t*>(a.row)[1];
+      const std::uint64_t* row = static_cast<const std::uint64_t*>(a.row);
+      hal::RaceCheck(&row[1], sizeof(std::uint64_t), /*is_write=*/false,
+                     "kv.row");
+      sink ^= row[1];
     }
     // Keep the reads observable.
     sink_ = sink;

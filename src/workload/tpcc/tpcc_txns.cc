@@ -14,10 +14,29 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "hal/hal.h"
 
 namespace orthrus::workload::tpcc {
 
 namespace {
+
+// Declares a locked row access to the simulator's race detector before
+// handing out the typed pointer. `is_write` mirrors the lock mode the
+// access set annotated for this row; the detector then proves the engine's
+// grant/release protocol actually orders conflicting accesses. The OLLP
+// reconnaissance reads in BuildAccessSet are *not* checked: they are
+// deliberately unsynchronized estimates, re-validated under locks in Run.
+template <typename Row>
+Row* CheckedRow(void* row, bool is_write, const char* label) {
+  hal::RaceCheck(row, sizeof(Row), is_write, label);
+  return static_cast<Row*>(row);
+}
+
+template <typename Row>
+const Row* CheckedRowRead(const void* row, const char* label) {
+  hal::RaceCheck(row, sizeof(Row), /*is_write=*/false, label);
+  return static_cast<const Row*>(row);
+}
 
 class NewOrderLogic final : public txn::TxnLogic {
  public:
@@ -45,12 +64,15 @@ class NewOrderLogic final : public txn::TxnLogic {
     const hal::Cycles row_op =
         items->cost_model().op_compute_cycles;
 
-    auto* wr = static_cast<WarehouseRow*>(
-        t->RowFor(kWarehouse, WarehouseKey(p->w)));
-    auto* dr = static_cast<DistrictRow*>(
-        t->RowFor(kDistrict, DistrictKey(p->w, p->d)));
-    [[maybe_unused]] auto* cr = static_cast<CustomerRow*>(
-        t->RowFor(kCustomer, CustomerKey(p->w, p->d, p->c)));
+    auto* wr = CheckedRow<WarehouseRow>(
+        t->RowFor(kWarehouse, WarehouseKey(p->w)), /*is_write=*/false,
+        "tpcc.warehouse");
+    auto* dr = CheckedRow<DistrictRow>(
+        t->RowFor(kDistrict, DistrictKey(p->w, p->d)), /*is_write=*/true,
+        "tpcc.district");
+    [[maybe_unused]] auto* cr = CheckedRow<CustomerRow>(
+        t->RowFor(kCustomer, CustomerKey(p->w, p->d, p->c)),
+        /*is_write=*/false, "tpcc.customer");
     ORTHRUS_DCHECK(wr != nullptr && dr != nullptr && cr != nullptr);
 
     ctx.ChargeOp(ctx.db->GetTable(kWarehouse)->RowAccessCost() + row_op);
@@ -72,8 +94,9 @@ class NewOrderLogic final : public txn::TxnLogic {
           ctx.charge_cycles ? items->Lookup(ItemKey(p->item_id[j]))
                             : items->LookupRaw(ItemKey(p->item_id[j])));
       ORTHRUS_DCHECK(ir != nullptr);
-      auto* sr = static_cast<StockRow*>(
-          t->RowFor(kStock, StockKey(p->supply_w[j], p->item_id[j])));
+      auto* sr = CheckedRow<StockRow>(
+          t->RowFor(kStock, StockKey(p->supply_w[j], p->item_id[j])),
+          /*is_write=*/true, "tpcc.stock");
       ORTHRUS_DCHECK(sr != nullptr);
       ctx.ChargeOp(ctx.db->GetTable(kStock)->RowAccessCost() + row_op);
 
@@ -98,6 +121,7 @@ class NewOrderLogic final : public txn::TxnLogic {
           aux_->order_lines[ring][static_cast<std::size_t>(slot) *
                                       aux_->scale.max_items_per_order +
                                   j];
+      hal::RaceCheck(&ol, sizeof(ol), /*is_write=*/true, "tpcc.orderline_ring");
       ol.i_id = static_cast<std::uint32_t>(p->item_id[j]);
       ol.supply_w = static_cast<std::uint32_t>(p->supply_w[j]);
       ol.quantity = qty;
@@ -108,6 +132,8 @@ class NewOrderLogic final : public txn::TxnLogic {
     total = total * (10000 + wr->tax_bp + dr->tax_bp) / 10000;
 
     OrderRec& order = aux_->orders[ring][slot];
+    hal::RaceCheck(&order, sizeof(order), /*is_write=*/true,
+                   "tpcc.order_ring");
     order.o_id = o_id;
     order.c_id = static_cast<std::uint32_t>(p->c);
     order.ol_cnt = static_cast<std::uint32_t>(p->ol_cnt);
@@ -167,12 +193,14 @@ class PaymentLogic final : public txn::TxnLogic {
       if (now != p->resolved_c_key) return false;
     }
 
-    auto* wr = static_cast<WarehouseRow*>(
-        t->RowFor(kWarehouse, WarehouseKey(p->w)));
-    auto* dr = static_cast<DistrictRow*>(
-        t->RowFor(kDistrict, DistrictKey(p->w, p->d)));
-    auto* cr = static_cast<CustomerRow*>(
-        t->RowFor(kCustomer, p->resolved_c_key));
+    auto* wr = CheckedRow<WarehouseRow>(
+        t->RowFor(kWarehouse, WarehouseKey(p->w)), /*is_write=*/true,
+        "tpcc.warehouse");
+    auto* dr = CheckedRow<DistrictRow>(
+        t->RowFor(kDistrict, DistrictKey(p->w, p->d)), /*is_write=*/true,
+        "tpcc.district");
+    auto* cr = CheckedRow<CustomerRow>(t->RowFor(kCustomer, p->resolved_c_key),
+                                       /*is_write=*/true, "tpcc.customer");
     ORTHRUS_DCHECK(wr != nullptr && dr != nullptr && cr != nullptr);
 
     ctx.ChargeOp(ctx.db->GetTable(kWarehouse)->RowAccessCost() + row_op);
@@ -192,6 +220,7 @@ class PaymentLogic final : public txn::TxnLogic {
     const int cap = aux_->scale.order_ring_capacity;
     HistoryRec& h =
         aux_->history[ring][dr->history_cnt % static_cast<std::uint32_t>(cap)];
+    hal::RaceCheck(&h, sizeof(h), /*is_write=*/true, "tpcc.history_ring");
     dr->history_cnt++;
     h.amount_cents = amount;
     h.c_w = static_cast<std::uint32_t>(p->c_w);
@@ -245,10 +274,10 @@ class OrderStatusLogic final : public txn::TxnLogic {
           LastNameAttr(p->w, p->d, p->name_code));
       if (now != p->resolved_c_key) return false;  // stale OLLP estimate
     }
-    const auto* dr = static_cast<const DistrictRow*>(
-        t->RowFor(kDistrict, DistrictKey(p->w, p->d)));
-    const auto* cr = static_cast<const CustomerRow*>(
-        t->RowFor(kCustomer, p->resolved_c_key));
+    const auto* dr = CheckedRowRead<DistrictRow>(
+        t->RowFor(kDistrict, DistrictKey(p->w, p->d)), "tpcc.district");
+    const auto* cr = CheckedRowRead<CustomerRow>(
+        t->RowFor(kCustomer, p->resolved_c_key), "tpcc.customer");
     ORTHRUS_DCHECK(dr != nullptr && cr != nullptr);
     ctx.ChargeOp(ctx.db->GetTable(kDistrict)->RowAccessCost() + row_op);
     ctx.ChargeOp(ctx.db->GetTable(kCustomer)->RowAccessCost() + row_op);
@@ -267,6 +296,7 @@ class OrderStatusLogic final : public txn::TxnLogic {
         std::min<std::uint32_t>(newest - 1, static_cast<std::uint32_t>(cap));
     for (std::uint32_t back = 1; back <= scan; ++back) {
       const OrderRec& o = aux_->orders[ring][(newest - back) % cap];
+      hal::RaceCheck(&o, sizeof(o), /*is_write=*/false, "tpcc.order_ring");
       ctx.ChargeOp(row_op);
       if (o.c_id == c_id) {
         sink ^= o.total_cents;
@@ -347,8 +377,8 @@ class DeliveryLogic final : public txn::TxnLogic {
 
     // Validate the whole estimate before any write.
     for (int d = 0; d < d_count; ++d) {
-      const auto* dr = static_cast<const DistrictRow*>(
-          t->RowFor(kDistrict, DistrictKey(p->w, d)));
+      const auto* dr = CheckedRowRead<DistrictRow>(
+          t->RowFor(kDistrict, DistrictKey(p->w, d)), "tpcc.district");
       ORTHRUS_DCHECK(dr != nullptr);
       if (dr->delivered_o_id != p->observed_cursor[d]) return false;
       const bool has_order = dr->delivered_o_id < DeliverableEnd(*dr);
@@ -357,6 +387,7 @@ class DeliveryLogic final : public txn::TxnLogic {
       if (planned) {
         const int ring = aux_->DistrictIndex(p->w, d);
         const OrderRec& o = aux_->orders[ring][dr->delivered_o_id % cap];
+        hal::RaceCheck(&o, sizeof(o), /*is_write=*/false, "tpcc.order_ring");
         if (CustomerKey(p->w, d, static_cast<int>(o.c_id)) !=
             p->customer_key[d]) {
           return false;
@@ -366,14 +397,17 @@ class DeliveryLogic final : public txn::TxnLogic {
 
     TpccTallies::Tally& tally = aux_->tallies.per_core[hal::CoreId() & 127];
     for (int d = 0; d < d_count; ++d) {
-      auto* dr = static_cast<DistrictRow*>(
-          t->RowFor(kDistrict, DistrictKey(p->w, d)));
+      auto* dr = CheckedRow<DistrictRow>(
+          t->RowFor(kDistrict, DistrictKey(p->w, d)), /*is_write=*/true,
+          "tpcc.district");
       ctx.ChargeOp(ctx.db->GetTable(kDistrict)->RowAccessCost() + row_op);
       if (p->customer_key[d] == DeliveryParams::kNoCustomer) continue;
       const int ring = aux_->DistrictIndex(p->w, d);
       const OrderRec& o = aux_->orders[ring][dr->delivered_o_id % cap];
-      auto* cr = static_cast<CustomerRow*>(
-          t->RowFor(kCustomer, p->customer_key[d]));
+      hal::RaceCheck(&o, sizeof(o), /*is_write=*/false, "tpcc.order_ring");
+      auto* cr = CheckedRow<CustomerRow>(t->RowFor(kCustomer,
+                                                   p->customer_key[d]),
+                                         /*is_write=*/true, "tpcc.customer");
       ORTHRUS_DCHECK(cr != nullptr);
       ctx.ChargeOp(ctx.db->GetTable(kCustomer)->RowAccessCost() + row_op);
       cr->balance_cents += static_cast<std::int64_t>(o.total_cents);
@@ -441,8 +475,8 @@ class StockLevelLogic final : public txn::TxnLogic {
     const StockLevelParams* p = t->Params<StockLevelParams>();
     const hal::Cycles row_op =
         ctx.db->GetTable(kStock)->cost_model().op_compute_cycles;
-    const auto* dr = static_cast<const DistrictRow*>(
-        t->RowFor(kDistrict, DistrictKey(p->w, p->d)));
+    const auto* dr = CheckedRowRead<DistrictRow>(
+        t->RowFor(kDistrict, DistrictKey(p->w, p->d)), "tpcc.district");
     ORTHRUS_DCHECK(dr != nullptr);
     // A ring that moved since reconnaissance invalidates the item estimate.
     if (dr->next_o_id != p->observed_next_o_id) return false;
@@ -450,8 +484,8 @@ class StockLevelLogic final : public txn::TxnLogic {
 
     std::uint64_t low = 0;
     for (int m = 0; m < p->n_items; ++m) {
-      const auto* sr = static_cast<const StockRow*>(
-          t->RowFor(kStock, StockKey(p->w, p->items[m])));
+      const auto* sr = CheckedRowRead<StockRow>(
+          t->RowFor(kStock, StockKey(p->w, p->items[m])), "tpcc.stock");
       ORTHRUS_DCHECK(sr != nullptr);
       ctx.ChargeOp(ctx.db->GetTable(kStock)->RowAccessCost() + row_op);
       if (sr->quantity < p->threshold) low++;

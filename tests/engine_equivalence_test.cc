@@ -10,6 +10,7 @@
 // duplicated, or phantom grant anywhere in the lock or message-passing
 // plumbing shows up as a digest mismatch.
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,18 @@
 
 namespace orthrus {
 namespace {
+
+// CI race arm: ORTHRUS_RACE_DETECT=1 reruns the equivalence suite with
+// happens-before checking on and abort-on-first-race. Detection never
+// perturbs the schedule, so the digests must match the plain run's.
+hal::SimConfig SimConfigFromEnv() {
+  hal::SimConfig config;
+  if (std::getenv("ORTHRUS_RACE_DETECT") != nullptr) {
+    config.race_detect = true;
+    config.race_report_fatal = true;
+  }
+  return config;
+}
 
 constexpr int kExecWorkers = 3;   // transaction-issuing workers per engine
 constexpr std::uint64_t kTxnsPerWorker = 25;
@@ -104,7 +117,7 @@ Outcome RunOne(engine::Engine* eng, workload::Workload* wl, int cores,
   storage::Database db;
   kv.Load(&db, 1);
   db.partitioner().n = partitions;
-  hal::SimPlatform sim(cores);
+  hal::SimPlatform sim(cores, SimConfigFromEnv());
   const RunResult r = eng->Run(&sim, &db, *wl);
   Outcome out;
   out.committed = r.total.committed;
@@ -287,7 +300,7 @@ TpccOutcome RunTpccAt(engine::Engine* eng, int cores, int partitions,
   wl.Load(&db, 1);
   db.partitioner().n = partitions;  // mode stays kWarehouseHigh32
   ShiftedWorkload shifted(&wl, source_shift);
-  hal::SimPlatform sim(cores);
+  hal::SimPlatform sim(cores, SimConfigFromEnv());
   const RunResult r = eng->Run(&sim, &db, shifted);
   const auto tally = wl.aux()->tallies.Sum();
   TpccOutcome out;

@@ -1,6 +1,7 @@
 // Integration tests: every engine runs real workloads on both platforms and
 // must preserve serializability invariants (no lost updates, consistent
 // TPC-C aggregates), terminate cleanly, and report sane statistics.
+#include <cstdlib>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -29,7 +30,17 @@ using workload::KvConfig;
 using workload::KvWorkload;
 
 std::unique_ptr<hal::Platform> MakePlatform(bool simulated, int cores) {
-  if (simulated) return std::make_unique<hal::SimPlatform>(cores);
+  if (simulated) {
+    hal::SimConfig config;
+    // CI race arm: ORTHRUS_RACE_DETECT=1 reruns the whole suite with
+    // happens-before checking on and abort-on-first-race. Detection is
+    // zero-perturbation, so every assertion below must still hold.
+    if (std::getenv("ORTHRUS_RACE_DETECT") != nullptr) {
+      config.race_detect = true;
+      config.race_report_fatal = true;
+    }
+    return std::make_unique<hal::SimPlatform>(cores, config);
+  }
   return std::make_unique<hal::NativePlatform>(cores);
 }
 
