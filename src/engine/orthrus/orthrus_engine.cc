@@ -227,6 +227,16 @@ class CcLockTable {
     free_ = r;
   }
 
+  // Batch-prefetch hint for (table, key): the slot word, then — when the
+  // lock already exists — the lock object behind it (two-level group
+  // prefetch). Read-only and cost-free: a pure hardware hint, so sweeping
+  // a whole batch of these ahead of processing is always safe.
+  void PrefetchFor(std::uint32_t table, std::uint64_t key) const {
+    const std::size_t pos = Hash(table, key) & (slots_.size() - 1);
+    hal::Prefetch(&slots_[pos]);
+    if (slots_[pos] != nullptr) hal::Prefetch(slots_[pos]);
+  }
+
   std::size_t used() const { return used_; }
 
  private:
@@ -251,6 +261,7 @@ class CcLockTable {
   CcLock* AllocLock() {
     constexpr int kBlock = 4096;
     if (next_lock_ == locks_in_block_) {
+      // lint:allow-alloc cold path: block pool growth, amortized over 4096
       lock_blocks_.push_back(new CcLock[kBlock]);
       next_lock_ = 0;
       locks_in_block_ = kBlock;
@@ -260,6 +271,7 @@ class CcLockTable {
 
   void NewRequestBlock() {
     constexpr int kBlock = 1024;
+    // lint:allow-alloc cold path: block pool growth, amortized over 1024
     CcRequest* block = new CcRequest[kBlock];
     req_blocks_.push_back(block);
     for (int i = 0; i < kBlock; ++i) {
@@ -302,6 +314,7 @@ class SharedCcTable {
                 std::size_t heads_per_cc = 1 << 18)
       : op_cycles_(op_cycles),
         mask_(NextPowerOfTwo(n_buckets) - 1),
+        // lint:allow-alloc setup: built once per run
         buckets_(std::make_unique<Bucket[]>(mask_ + 1)),
         head_pool_(static_cast<std::size_t>(n_cc) * heads_per_cc),
         shard_next_(n_cc),
@@ -483,6 +496,15 @@ struct Shared {
   // max_batch from its measured per-quantum burst depth.
   bool adaptive_drain_batch = false;
   hal::Cycles cc_op_cycles = 20;
+  // Vectorized CC stage (see OrthrusOptions::vectorized_cc): flat-batch
+  // drain, prefetch sweep, same-key run combining, once-per-batch grant
+  // flush through the combined-grants staging path.
+  bool vectorized_cc = false;
+  std::size_t cc_batch = 256;
+  bool cc_prefetch = true;
+  bool cc_combine = true;
+  hal::Cycles cc_prefetched_op_cycles = 6;
+  hal::Cycles cc_run_op_cycles = 3;
 
   // Queue meshes, indexed (sender, receiver).
   Mesh exec_to_cc;  // (exec, cc)  acquire + release (static roles)
@@ -549,10 +571,18 @@ class CcThread {
         controller_(controller),
         controller2d_(controller2d),
         epoch_cycles_(epoch_cycles) {
-    if (shared->combined_grants) {
+    // vectorized_cc stages its grants through the same per-exec stash the
+    // combined_grants path flushes, so either knob sizes it.
+    if (shared->combined_grants || shared->vectorized_cc) {
       grant_stash_.resize(static_cast<std::size_t>(shared->n_exec));
     }
+    if (shared->vectorized_cc) {
+      // Setup-time sizing: the flat drain buffer never grows on the hot
+      // path (DrainInto stops at its capacity; the remainder stays queued).
+      batch_buf_.resize(shared->cc_batch);
+    }
     if (shared->elastic_cc) {
+      // lint:allow-alloc setup
       router_ = std::make_unique<Router>(shared->space, cc_id);
     }
   }
@@ -574,7 +604,8 @@ class CcThread {
         MaybeRemap();
         may_park = ParkBarrierHolds();
       }
-      const bool progress = DrainOnce();
+      const bool progress =
+          shared_->vectorized_cc ? DrainVectorized() : DrainOnce();
       // End of the scheduling quantum: grants, forwards, and acks staged
       // while handling this quantum's messages go out before we either
       // loop or idle — a staged message must never wait on an idle sender.
@@ -645,6 +676,156 @@ class CcThread {
   std::size_t DrainBatch() const {
     return drain_est_.Batch(shared_->adaptive_drain_batch,
                             shared_->drain_batch);
+  }
+
+  // --- vectorized CC stage (vectorized_cc) -----------------------------
+
+  // Batch-shaped counterpart of DrainOnce: gathers up to cc_batch messages
+  // into the flat buffer (same mesh visit order and per-sender FIFO as the
+  // scalar drain; anything past the cap stays queued for the next quantum)
+  // and processes the span as a unit.
+  bool DrainVectorized() {
+    const std::size_t batch = DrainBatch();
+    std::uint64_t* buf = batch_buf_.data();
+    const std::size_t cap = batch_buf_.size();
+    std::size_t n =
+        shared_->elastic
+            ? shared_->exec_to_cc_multi.DrainInto(cc_id_, buf, cap, batch)
+            : shared_->exec_to_cc.DrainInto(cc_id_, buf, cap, batch,
+                                            shared_->drain_order);
+    if (shared_->forwarding || shared_->elastic_cc) {
+      n += shared_->cc_to_cc.DrainInto(cc_id_, buf + n, cap - n, batch,
+                                       shared_->drain_order);
+    }
+    drain_est_.Observe(shared_->adaptive_drain_batch, n);
+    if (n != 0) ProcessBatch(n);
+    return n != 0;
+  }
+
+  // The gather -> prefetch -> process -> scatter pipeline over one drained
+  // span. Messages are handled in exactly the order the scalar drain would
+  // have delivered them — the batch view changes how the work is done (one
+  // prefetch sweep, memoized same-key lookups, one deferred grant sweep
+  // per release run), never what is decided.
+  void ProcessBatch(std::size_t n) {
+    stats_->cc_batches++;
+    stats_->cc_batch_msgs += n;
+    // Single-owner staging: only this CC thread ever touches its batch
+    // buffer; the tag documents (and, under race_detect, verifies) that.
+    hal::RaceCheck(batch_buf_.data(), n * sizeof(std::uint64_t),
+                   /*is_write=*/true, "orthrus.cc.batch_buf");
+    if (shared_->cc_prefetch) {
+      const hal::Cycles t0 = hal::Now();
+      PrefetchSweepPass(n);
+      stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+    }
+    in_batch_ = true;
+    ResetMemo();
+    for (std::size_t i = 0; i < n; ++i) Handle(batch_buf_[i]);
+    FlushGrantSweep();
+    in_batch_ = false;
+    ResetMemo();
+  }
+
+  // Pass one: walk the batch issuing prefetch hints for every request's
+  // TCB, lock bucket, and (for releases) queued request nodes, then charge
+  // the sweep's overlapped fill window once. Hints only — nothing is
+  // decided here, and under elastic_cc only shards this thread currently
+  // owns (raw-load check; eventual visibility suffices for a hint) are
+  // touched, so no foreign table is ever read mid-mutation.
+  void PrefetchSweepPass(std::size_t n) {
+    std::size_t lines = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t w = batch_buf_[i];
+      Tcb* tcb = DecodeTcb(w);
+      hal::Prefetch(tcb);
+      lines++;
+      const MsgTag tag = DecodeTag(w);
+      if (tag == kAcquire) {
+        const Stage& stage = tcb->stages[tcb->cur_stage];
+        const CcLockTable* locks = TableForPrefetch(stage.part);
+        if (locks == nullptr) continue;
+        for (std::uint16_t a = stage.begin; a < stage.end; ++a) {
+          const Access& acc = tcb->txn.accesses[a];
+          locks->PrefetchFor(acc.table, acc.key);
+          lines += 2;
+        }
+      } else if (tag == kRelease) {
+        const Stage* stage = StageForRelease(tcb, w);
+        if (stage == nullptr) continue;
+        for (std::uint16_t a = stage->begin; a < stage->end; ++a) {
+          CcRequest* r = tcb->reqs[a];
+          if (r != nullptr) {
+            hal::Prefetch(r);
+            lines++;
+          }
+        }
+      }
+    }
+    hal::PrefetchSweep(lines);
+  }
+
+  // Lock table whose buckets pass one may hint for partition `part`, or
+  // null when this thread does not currently own it (the message will be
+  // re-routed by Handle anyway).
+  const CcLockTable* TableForPrefetch(int part) const {
+    if (!shared_->elastic_cc) return &locks_;
+    if (shared_->space->ShardOwnerRaw(part) !=
+        static_cast<std::uint64_t>(cc_id_)) {
+      return nullptr;
+    }
+    return &shared_->space->shard(part)->locks;
+  }
+
+  // The stage a kRelease message addresses: explicit in the message under
+  // elastic_cc, this thread's (unique) stage otherwise.
+  const Stage* StageForRelease(Tcb* tcb, std::uint64_t w) const {
+    if (shared_->elastic_cc) {
+      const Stage& stage = tcb->stages[DecodeStage(w)];
+      return shared_->space->ShardOwnerRaw(stage.part) ==
+                     static_cast<std::uint64_t>(cc_id_)
+                 ? &stage
+                 : nullptr;
+    }
+    for (int s = 0; s < tcb->n_stages; ++s) {
+      if (tcb->stages[s].part == cc_id_) return &tcb->stages[s];
+    }
+    return nullptr;
+  }
+
+  // Same-key memo (cc_combine): the last (table, key) resolved this batch
+  // and the lock it mapped to. A hit must match the exact table instance
+  // plus (table, key) — then staleness is impossible to get wrong: CcLock
+  // objects are pool-allocated (never freed or moved) and FindOrCreate is
+  // deterministic, so whatever the memo remembers is still the answer.
+  void ResetMemo() {
+    memo_locks_ = nullptr;
+    last_lock_ = nullptr;
+    last_table_ = 0;
+    last_key_ = 0;
+  }
+
+  void SetMemo(CcLockTable* locks, std::uint32_t table, std::uint64_t key,
+               CcLock* lock) {
+    memo_locks_ = locks;
+    last_table_ = table;
+    last_key_ = key;
+    last_lock_ = lock;
+  }
+
+  // Flushes the deferred release grant sweep (cc_combine): one
+  // GrantFollowers pass serves a whole same-lock release run. Grants are
+  // monotone in unlinks — nothing between the deferral and the flush can
+  // make a grantable follower ungrantable — so one final sweep grants
+  // exactly what incremental sweeps would have. The pending pointer is
+  // cleared *before* the sweep: GrantFollowers can advance a transaction
+  // into AcquireStage on this same thread (elastic_cc local continue),
+  // which may legally re-enter the deferral machinery.
+  void FlushGrantSweep() {
+    CcLock* lock = grant_pending_;
+    if (lock == nullptr) return;
+    grant_pending_ = nullptr;
+    GrantFollowers(lock);
   }
 
   // --- elastic_cc: epoch handoff, retire, resume -----------------------
@@ -823,7 +1004,7 @@ class CcThread {
   // Packs each exec thread's stashed grant slots into words of up to
   // kMaxCombinedGrants and stages them for the quantum flush.
   void FlushCombinedGrants() {
-    if (!shared_->combined_grants) return;
+    if (!shared_->combined_grants && !shared_->vectorized_cc) return;
     for (int e = 0; e < shared_->n_exec; ++e) {
       std::vector<std::uint8_t>& stash =
           grant_stash_[static_cast<std::size_t>(e)];
@@ -907,8 +1088,29 @@ class CcThread {
     std::uint32_t pending = 0;
     for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
       const Access& a = tcb->txn.accesses[i];
-      hal::ConsumeCycles(shared_->cc_op_cycles);
-      CcLock* lock = locks.FindOrCreate(a.table, a.key);
+      CcLock* lock;
+      if (!in_batch_) {
+        // Scalar path: untouched — one full-cost lookup per request.
+        hal::ConsumeCycles(shared_->cc_op_cycles);
+        lock = locks.FindOrCreate(a.table, a.key);
+      } else if (shared_->cc_combine && memo_locks_ == &locks &&
+                 last_table_ == a.table && last_key_ == a.key) {
+        // Same-key run: reuse the memoized lock — no hash, no probe walk.
+        hal::ConsumeCycles(shared_->cc_run_op_cycles);
+        lock = last_lock_;
+        stats_->cc_key_runs_combined++;
+      } else {
+        // Batch mode: the pass-one sweep (when on) already pulled the
+        // bucket and lock lines in, leaving only the resident walk.
+        hal::ConsumeCycles(shared_->cc_prefetch
+                               ? shared_->cc_prefetched_op_cycles
+                               : shared_->cc_op_cycles);
+        lock = locks.FindOrCreate(a.table, a.key);
+      }
+      // A deferred release sweep on this same lock must grant before we
+      // enqueue behind it — the sweep must see the queue state the
+      // releases left, not one with our request appended.
+      if (lock == grant_pending_) FlushGrantSweep();
       CcRequest* r = locks.AllocRequest();
       r->tcb = tcb;
       r->lock = lock;
@@ -937,6 +1139,9 @@ class CcThread {
         shard->held++;
       } else {
         held_++;
+      }
+      if (in_batch_ && shared_->cc_combine) {
+        SetMemo(&locks, a.table, a.key, lock);
       }
     }
     if (pending != 0) {
@@ -1004,11 +1209,39 @@ class CcThread {
                        static_cast<std::size_t>(stage.end - stage.begin),
                    /*is_write=*/true, "orthrus.tcb.reqs");
     for (std::uint16_t i = stage.begin; i < stage.end; ++i) {
-      hal::ConsumeCycles(shared_->cc_op_cycles);
       CcRequest* r = tcb->reqs[i];
       ORTHRUS_DCHECK(r != nullptr && r->lock != nullptr);
-      Unlink(r);
-      GrantFollowers(r->lock);
+      CcLock* lock = r->lock;
+      if (!in_batch_) {
+        // Scalar path: untouched — unlink, sweep, recycle, per request.
+        hal::ConsumeCycles(shared_->cc_op_cycles);
+        Unlink(r);
+        GrantFollowers(lock);
+      } else if (shared_->cc_combine) {
+        // Batched release: defer the grant sweep so one GrantFollowers
+        // pass serves a whole same-lock run. A different lock's deferred
+        // sweep flushes first — at most one lock is ever pending.
+        if (lock == last_lock_ && memo_locks_ == &locks) {
+          hal::ConsumeCycles(shared_->cc_run_op_cycles);
+          stats_->cc_key_runs_combined++;
+        } else {
+          hal::ConsumeCycles(shared_->cc_prefetch
+                                 ? shared_->cc_prefetched_op_cycles
+                                 : shared_->cc_op_cycles);
+        }
+        Unlink(r);
+        if (grant_pending_ != nullptr && grant_pending_ != lock) {
+          FlushGrantSweep();
+        }
+        grant_pending_ = lock;
+        SetMemo(&locks, lock->table, lock->key, lock);
+      } else {
+        hal::ConsumeCycles(shared_->cc_prefetch
+                               ? shared_->cc_prefetched_op_cycles
+                               : shared_->cc_op_cycles);
+        Unlink(r);
+        GrantFollowers(lock);
+      }
       locks.FreeRequest(r);
       tcb->reqs[i] = nullptr;
       ORTHRUS_DCHECK(held > 0);
@@ -1061,9 +1294,11 @@ class CcThread {
   }
 
   void SendGrant(Tcb* tcb) {
-    if (shared_->combined_grants) {
+    if (shared_->combined_grants || shared_->vectorized_cc) {
       // Stash the grant as a slot id; FlushCombinedGrants packs this exec
-      // thread's quantum of grants into words at quantum end.
+      // thread's quantum of grants into words at quantum end. This is the
+      // vectorized stage's single-pass grant flush: grants produced while
+      // processing a batch accumulate here and publish once.
       grant_stash_[static_cast<std::size_t>(tcb->exec_id)].push_back(
           static_cast<std::uint8_t>(tcb->slot));
       return;
@@ -1128,11 +1363,22 @@ class CcThread {
   hal::Cycles next_epoch_ = 0;
   hal::Cycles last_epoch_now_ = 0;
   std::uint64_t last_epoch_committed_ = 0;
-  // Per-exec-thread grant stash (combined_grants mode), cleared every
-  // quantum by FlushCombinedGrants.
+  // Per-exec-thread grant stash (combined_grants and vectorized_cc modes),
+  // cleared every quantum by FlushCombinedGrants.
   std::vector<std::vector<std::uint8_t>> grant_stash_;
   std::uint64_t held_ = 0;
   std::vector<Tcb*> runnable_;  // scratch for shared-mode release grants
+  // --- vectorized CC state (vectorized_cc; all inert otherwise) --------
+  // Flat drain buffer (ctor-sized, single owner), the in-batch flag that
+  // gates every vectorized branch so the scalar path stays byte-identical,
+  // the same-key memo, and the lock whose release grant sweep is deferred.
+  std::vector<std::uint64_t> batch_buf_;
+  bool in_batch_ = false;
+  CcLockTable* memo_locks_ = nullptr;
+  CcLock* last_lock_ = nullptr;
+  std::uint32_t last_table_ = 0;
+  std::uint64_t last_key_ = 0;
+  CcLock* grant_pending_ = nullptr;
 };
 
 // ----------------------------------------------------------- exec thread
@@ -1173,24 +1419,26 @@ class ExecThread {
     if (shared_->elastic) {
       // Shard hint = exec id: stable for the thread's lifetime, spreads
       // senders evenly across the mesh's shards.
-      out_cc_multi_ = std::make_unique<MultiSendBuf>(
+      out_cc_multi_ = std::make_unique<MultiSendBuf>(  // lint:allow-alloc setup
           &shared->exec_to_cc_multi, exec_id, shared->send_stage,
           shared->adaptive_flush);
     } else {
-      out_cc_ = std::make_unique<SendBuf>(&shared->exec_to_cc, exec_id,
+      out_cc_ = std::make_unique<SendBuf>(  // lint:allow-alloc setup
+          &shared->exec_to_cc, exec_id,
                                           shared->send_stage,
                                           shared->adaptive_flush);
     }
     if (shared_->elastic_cc) {
       // Router slots are worker ids: CC threads first, then exec threads.
-      router_ = std::make_unique<Router>(shared->space,
-                                         shared->n_cc + exec_id);
+      router_ = std::make_unique<Router>(  // lint:allow-alloc setup
+          shared->space, shared->n_cc + exec_id);
     }
     tcbs_.reserve(static_cast<std::size_t>(max_inflight));
     for (int i = 0; i < max_inflight; ++i) {
+      // lint:allow-alloc setup: in-flight window built before the run
       Tcb* t = arena != nullptr
                    ? new (arena->Allocate(sizeof(Tcb), alignof(Tcb))) Tcb()
-                   : new Tcb();
+                   : new Tcb();  // lint:allow-alloc setup
       tcbs_.emplace_back(t, TcbDeleter{arena != nullptr});
       t->exec_id = exec_id_;
       t->slot = i;
@@ -1220,7 +1468,7 @@ class ExecThread {
     // (ExecThread itself is constructed before the workers start).
     std::unique_ptr<wal::Producer> wal_owned;
     if (shared_->wal != nullptr) {
-      wal_owned =
+      wal_owned =  // lint:allow-alloc setup: once, before the first txn
           std::make_unique<wal::Producer>(shared_->wal, exec_id_, worker_);
       wal_ = wal_owned.get();
     }
@@ -1623,6 +1871,16 @@ OrthrusEngine::OrthrusEngine(EngineOptions options, OrthrusOptions orthrus)
   if (orthrus_.backpressure_admission) {
     ORTHRUS_CHECK(orthrus_.backpressure_epoch_seconds > 0);
   }
+  if (orthrus_.vectorized_cc) {
+    // Grant staging packs in-flight window slots one byte each (the same
+    // encoding combined_grants uses).
+    ORTHRUS_CHECK_MSG(orthrus_.max_inflight <= 256,
+                      "vectorized_cc needs max_inflight <= 256");
+    ORTHRUS_CHECK_MSG(!orthrus_.shared_cc_table,
+                      "the shared CC table's loop is not message-shaped; "
+                      "vectorized_cc batches the partitioned drain");
+    ORTHRUS_CHECK(orthrus_.cc_batch >= 1);
+  }
 }
 
 std::string OrthrusEngine::name() const {
@@ -1639,6 +1897,7 @@ std::string OrthrusEngine::name() const {
   if (orthrus_.adaptive_drain_batch) n += "-adbatch";
   if (orthrus_.line_aligned_mesh) n += "-linemesh";
   if (orthrus_.backpressure_admission) n += "-bp";
+  if (orthrus_.vectorized_cc) n += "-veccc";
   return n;
 }
 
@@ -1721,8 +1980,14 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   shared.n_parts = n_parts;
   shared.adaptive_drain_batch = orthrus_.adaptive_drain_batch;
   shared.cc_op_cycles = orthrus_.cc_op_cycles;
+  shared.vectorized_cc = orthrus_.vectorized_cc;
+  shared.cc_batch = static_cast<std::size_t>(orthrus_.cc_batch);
+  shared.cc_prefetch = orthrus_.cc_prefetch;
+  shared.cc_combine = orthrus_.cc_combine;
+  shared.cc_prefetched_op_cycles = orthrus_.cc_prefetched_op_cycles;
+  shared.cc_run_op_cycles = orthrus_.cc_run_op_cycles;
   if (orthrus_.shared_cc_table) {
-    shared.shared_cc =
+    shared.shared_cc =  // lint:allow-alloc setup
         std::make_unique<SharedCcTable>(n_cc, orthrus_.cc_op_cycles);
   }
 
@@ -1855,6 +2120,7 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
     ec.exec_step = orthrus_.elastic_step;
     ec.initial_exec = orthrus_.elastic_initial_exec;
     ec.tolerance = orthrus_.elastic_tolerance;
+    // lint:allow-alloc setup
     controller2d = std::make_unique<ElasticController2D>(ec);
     const ElasticController2D::Target t0 = controller2d->target();
     shared.exec_gate.SetTarget(t0.exec);
@@ -1864,6 +2130,7 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
     const std::size_t cc_lock_shard_slots = 1 << 14;
     space.Reset(n_parts, ring.OwnersFor(n_parts, t0.cc), n_cc + n_exec,
                 [cc_lock_shard_slots](int) {
+                  // lint:allow-alloc setup: shards built before the run
                   return std::make_unique<CcShard>(cc_lock_shard_slots);
                 });
     shared.space = &space;
@@ -1877,6 +2144,7 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
                      : n_exec;
     ec.step = orthrus_.elastic_step;
     ec.tolerance = orthrus_.elastic_tolerance;
+    // lint:allow-alloc setup
     controller = std::make_unique<ElasticController>(ec);
     shared.exec_gate.SetTarget(controller->target());
   }
@@ -1888,7 +2156,7 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   std::vector<std::unique_ptr<CcThread>> cc_threads;
   std::vector<std::unique_ptr<ExecThread>> exec_threads;
   for (int c = 0; c < n_cc; ++c) {
-    cc_threads.push_back(std::make_unique<CcThread>(
+    cc_threads.push_back(std::make_unique<CcThread>(  // lint:allow-alloc setup
         c, &shared, &pool.worker(c).stats, cc_lock_slots,
         c == 0 ? controller.get() : nullptr,
         c == 0 ? controller2d.get() : nullptr, epoch_cycles));
@@ -1898,6 +2166,7 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
         placement ? arenas.ForNode(
                         socket_of_worker[static_cast<std::size_t>(n_cc + e)])
                   : nullptr;
+    // lint:allow-alloc setup
     exec_threads.push_back(std::make_unique<ExecThread>(
         e, &shared, db, workload, &pool.worker(n_cc + e), dopts,
         orthrus_.max_inflight, tcb_arena));

@@ -68,6 +68,11 @@ void WorkerPool::Spawn(int w, std::function<void(WorkerContext&)> body) {
     body(*ctx);
     ctx->clock.Finish();
     if (core != nullptr) core->send_stall_sink = nullptr;
+    // Last on-core writes to the worker-owned plain stats before Finalize
+    // reads them after join; tagged so a straggling cross-core reader
+    // (anything but the published_* mirrors) is a detector report.
+    hal::RaceCheck(&ctx->stats.send_stalls, sizeof(ctx->stats.send_stalls),
+                   true, "runtime.worker_stats.stall_fold");
     ctx->stats.send_stalls += sink.stalls;
     ctx->stats.send_stall_cycles += sink.stall_cycles;
   });

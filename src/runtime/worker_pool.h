@@ -94,6 +94,14 @@ struct WorkerContext {
   // Worker-side: mirror the commit/abort counters for cross-core readers.
   // Call at scheduling-quantum boundaries (two modeled stores).
   void PublishEpochStats() {
+    // The plain counters are worker-owned by contract; the tags let the
+    // race detector prove it — any other core writing them (a controller
+    // shortcutting past the published_* mirrors, a stats-fold touching a
+    // live worker) shows up as a report instead of silent corruption.
+    hal::RaceCheck(&stats.committed, sizeof(stats.committed), false,
+                   "runtime.worker_stats.committed");
+    hal::RaceCheck(&stats.aborted, sizeof(stats.aborted), false,
+                   "runtime.worker_stats.aborted");
     published_committed_.store(stats.committed);
     published_aborted_.store(stats.aborted);
   }

@@ -176,6 +176,7 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     bool adaptive_flush = false;
     bool combined_grants = false;
     bool adaptive_drain_batch = false;
+    bool vectorized_cc = false;
   };
   for (const OrthrusCase& c :
        {OrthrusCase{true, true, false}, OrthrusCase{false, true, false},
@@ -186,7 +187,9 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
         OrthrusCase{true, true, false, false, true, false,
                     /*combined_grants=*/true},
         OrthrusCase{true, true, false, false, true, false, false,
-                    /*adaptive_drain_batch=*/true}}) {
+                    /*adaptive_drain_batch=*/true},
+        OrthrusCase{true, true, false, false, true, false, false, false,
+                    /*vectorized_cc=*/true}}) {
     engine::OrthrusOptions oo;
     oo.num_cc = kOrthrusCc;
     // One transaction in flight per exec thread: the commit cap is checked
@@ -200,6 +203,7 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     oo.adaptive_flush = c.adaptive_flush;
     oo.combined_grants = c.combined_grants;
     oo.adaptive_drain_batch = c.adaptive_drain_batch;
+    oo.vectorized_cc = c.vectorized_cc;
     ORTHRUS_CHECK(!oo.elastic);     // the static-mesh digest pin
     ORTHRUS_CHECK(!oo.elastic_cc);  // the static lock-space pin
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
@@ -367,6 +371,20 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTpccTransactionSet) {
                           RunTpcc(&eng, kOrthrusCc + kExecWorkers, kOrthrusCc,
                                   kOrthrusCc));
   }
+  {
+    // Vectorized CC stage: batch drain + prefetch sweep + per-key
+    // combining + one grant flush per batch reorders grant *timing*
+    // within a quantum, never lock-queue order — the committed TPC-C
+    // transaction set is the pin.
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    oo.vectorized_cc = true;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunTpcc(&eng, kOrthrusCc + kExecWorkers, kOrthrusCc,
+                                  kOrthrusCc));
+  }
 
   const std::uint64_t want_committed = kExecWorkers * kTxnsPerWorker;
   for (const auto& [name, out] : outcomes) {
@@ -418,6 +436,20 @@ TEST(EngineEquivalence, FullMixSeededDeliveriesMatchAcrossEngines) {
     engine::OrthrusOptions oo;
     oo.num_cc = kOrthrusCc;
     oo.max_inflight = 1;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunTpccAt(&eng, kOrthrusCc + kExecWorkers,
+                                    kOrthrusCc, kOrthrusCc, scale));
+  }
+  {
+    // Vectorized CC stage over the full five-type mix: the hardest digest
+    // pin, since Delivery/StockLevel reads observe grant-order-sensitive
+    // state. Batch-deferred grant flushes must not change which orders
+    // get delivered.
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    oo.vectorized_cc = true;
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
     outcomes.emplace_back(eng.name(),
                           RunTpccAt(&eng, kOrthrusCc + kExecWorkers,

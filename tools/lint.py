@@ -13,10 +13,12 @@ Enforces three contracts that neither the compiler nor clang-tidy checks:
    line above it.
 
 2. hot-alloc: no allocation (new / malloc / calloc / realloc / free /
-   make_unique / make_shared) in src/mp/ or src/lock/. The paper's tuned
-   lock manager "never interacts with a memory allocator" on the hot path;
-   these two directories ARE hot path, so every allocation must be an
-   explicitly marked setup/cold-path site.
+   make_unique / make_shared) in src/mp/, src/lock/, or
+   src/engine/orthrus/. The paper's tuned lock manager "never interacts
+   with a memory allocator" on the hot path; these directories ARE hot
+   path — the ORTHRUS CC loop's batch staging arrays in particular must
+   come from setup-time sizing — so every allocation must be an explicitly
+   marked setup/cold-path site.
    Escape: `// lint:allow-alloc <why>` on the offending line or the line
    above it.
 
@@ -128,7 +130,7 @@ def main():
         rules = set()
         if not rel.startswith("src/hal/"):
             rules.add("raw-sync")
-        if rel.startswith(("src/mp/", "src/lock/")):
+        if rel.startswith(("src/mp/", "src/lock/", "src/engine/orthrus/")):
             rules.add("hot-alloc")
         if rules:
             violations.extend(lint_file(path, rules))
