@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "engine/deadlockfree/deadlockfree_engine.h"
+#include "engine/mvcc/mvcc_engine.h"
 #include "engine/orthrus/orthrus_engine.h"
 #include "engine/partitioned/partitioned_engine.h"
 #include "engine/sharedcc/sharedcc_engine.h"

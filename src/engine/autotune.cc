@@ -69,6 +69,13 @@ void ElasticController::BeginSweep() {
 }
 
 int ElasticController::Step(double epoch_throughput) {
+  // Controller state is single-owner by contract: exactly one core (the
+  // controller CC thread) calls Step, between scheduling quanta; the
+  // cross-core inputs all arrive through the published_* atomics read by
+  // MaybeReallocate. The tag turns a second caller core into a race
+  // report instead of silent state corruption.
+  hal::RaceCheck(&decisions_, sizeof(decisions_), /*is_write=*/true,
+                 "elastic.controller.state");
   decisions_++;
   const int before = target_;
   if (phase_ == Phase::kSweep) {
@@ -182,6 +189,9 @@ bool ElasticController2D::NextCandidate() {
 
 ElasticController2D::Target ElasticController2D::Step(
     double epoch_throughput) {
+  // Same single-owner contract (and tag) as the 1-D controller.
+  hal::RaceCheck(&decisions_, sizeof(decisions_), /*is_write=*/true,
+                 "elastic.controller.state");
   decisions_++;
   const Target before = target_;
   if (phase_ == Phase::kSweep) {

@@ -506,6 +506,13 @@ struct Shared {
   hal::Cycles cc_prefetched_op_cycles = 6;
   hal::Cycles cc_run_op_cycles = 3;
 
+  // Snapshot read path (OrthrusOptions::snapshot_reads): classified
+  // read-only transactions execute lock-free against the epoch-versioned
+  // slabs, inline on their exec thread — zero CC messages. Writers install
+  // post-images under their held locks in Execute. The epoch clock lives
+  // on the database (set up by Run); heartbeat slot = exec id.
+  bool snapshot_reads = false;
+
   // Queue meshes, indexed (sender, receiver).
   Mesh exec_to_cc;  // (exec, cc)  acquire + release (static roles)
   Mesh cc_to_cc;    // (cc, cc)    forward
@@ -1433,6 +1440,23 @@ class ExecThread {
       router_ = std::make_unique<Router>(  // lint:allow-alloc setup
           shared->space, shared->n_cc + exec_id);
     }
+    if (shared_->snapshot_reads) {
+      // Snapshot eligibility per table (fixed population + versions on)
+      // and the per-access staging buffer readers copy versions into.
+      // Run() enabled the version slabs before constructing exec threads.
+      std::uint32_t max_stride = 8;
+      table_snapshot_ok_.resize(db->num_tables());  // lint:allow-alloc setup
+      for (std::size_t i = 0; i < db->num_tables(); ++i) {
+        const storage::Table* tbl =
+            db->GetTable(static_cast<std::uint32_t>(i));
+        max_stride = std::max(max_stride, tbl->row_stride());
+        table_snapshot_ok_[i] =
+            tbl->versions_enabled() && !tbl->has_append_region();
+      }
+      snap_stride_ = max_stride;
+      snap_scratch_.resize(  // lint:allow-alloc setup
+          static_cast<std::size_t>(kMaxAccesses) * max_stride);
+    }
     tcbs_.reserve(static_cast<std::size_t>(max_inflight));
     for (int i = 0; i < max_inflight; ++i) {
       // lint:allow-alloc setup: in-flight window built before the run
@@ -1477,6 +1501,19 @@ class ExecThread {
       // elastic_cc: adopt the latest lock-space epoch before issuing or
       // releasing anything this quantum (one modeled load when unchanged).
       if (shared_->elastic_cc) router_->Refresh();
+      // Snapshot epoch heartbeats: the quantum top is a transaction
+      // boundary for this thread — no install or snapshot read is in
+      // flight (both complete synchronously inside Execute /
+      // ExecuteSnapshot), so both heartbeats may advance. Pipelined
+      // transactions still holding locks are fine: their installs load
+      // the commit epoch later, inside Execute, so it is >= the writer
+      // heartbeat published here. Without a WAL logger driving the clock,
+      // also offer an interval-gated tick.
+      if (shared_->snapshot_reads) {
+        storage::EpochClock* clock = db_->epoch_clock();
+        clock->PublishIdle(exec_id_, &epoch_cache_);
+        if (shared_->wal == nullptr) clock->MaybeTick(hal::Now());
+      }
       // Durability quantum maintenance: flush staged fragments, publish
       // the epoch heartbeat, acknowledge matured group commits.
       if (wal_ != nullptr) wal_->Poll();
@@ -1505,6 +1542,9 @@ class ExecThread {
     }
     ORTHRUS_CHECK_MSG(OutPending() == 0,
                       "exec exiting with staged messages");
+    // Drop out of the epoch mins: a finished thread's frozen heartbeats
+    // must not pin the read epoch or the reader floor for stragglers.
+    if (shared_->snapshot_reads) db_->epoch_clock()->Retire(exec_id_);
     if (wal_ != nullptr) wal_->Retire();
     if (shared_->elastic_cc) {
       // Drop out of the epoch barriers: a retiring CC thread must not
@@ -1580,10 +1620,22 @@ class ExecThread {
     // gate only opens with the pending queue drained (see Main).
     if (wal_ != nullptr) wal_->Park();
     if (shared_->elastic_cc) router_->Deactivate();
+    // A parked thread must not freeze the epoch mins (its heartbeats would
+    // pin the read epoch and the reader floor for the whole park, stalling
+    // every installing writer); retire the slot and rejoin on resume.
+    if (shared_->snapshot_reads) db_->epoch_clock()->Retire(exec_id_);
     shared_->exec_to_cc_multi.RetireSender();
     const hal::Cycles parked =
         shared_->exec_gate.Park(exec_id_, [this] { return Stopping(); });
     stats_->Add(TimeCategory::kWaiting, parked);
+    if (shared_->snapshot_reads) {
+      // Rejoin the mins at current values. The publish cache still holds
+      // pre-park values, so reset it to the retired sentinels first —
+      // otherwise PublishIdle could skip the store that un-retires us.
+      epoch_cache_.wh = storage::EpochClock::kRetired;
+      epoch_cache_.rh = storage::EpochClock::kRetired;
+      db_->epoch_clock()->PublishIdle(exec_id_, &epoch_cache_);
+    }
     shared_->exec_to_cc_multi.RegisterSender();
     out_cc_multi_->Rebind();
     if (wal_ != nullptr) wal_->Resume();
@@ -1652,6 +1704,18 @@ class ExecThread {
       free_slots_.pop_back();
       Tcb* tcb = tcbs_[slot].get();
       admission_.Admit(&tcb->txn);  // pull + plan (reconnaissance) + stamp
+      // Snapshot bypass: a classified read-only transaction never enters
+      // the CC mesh — it executes lock-free against the versioned slabs
+      // right here and its slot recycles immediately. It also never
+      // touches the WAL pipeline (nothing to capture), so the uncaptured
+      // counter stays untouched.
+      if (shared_->snapshot_reads && tcb->txn.read_only &&
+          SnapshotEligible(tcb->txn)) {
+        ExecuteSnapshot(tcb);
+        free_slots_.push_back(slot);
+        issued = true;
+        continue;
+      }
       if (wal_ != nullptr) wal_uncaptured_++;
       tcb->replan_pending = false;
       tcb->counted_commit = false;
@@ -1746,6 +1810,24 @@ class ExecThread {
         stats_->txn_latency.Record(hal::Now() - t.start_cycles);
       }
       tcb->counted_commit = true;
+      // Version install, still under every lock (the releases below are
+      // messages; CC threads only drop the locks when they process them):
+      // the post-images the logic just wrote become the newest committed
+      // versions, stamped with the current commit epoch. The writer
+      // heartbeat is published before the stamp is used, pinning the read
+      // epoch below it until this thread's next quantum boundary.
+      if (shared_->snapshot_reads) {
+        storage::EpochClock* clock = db_->epoch_clock();
+        const std::uint64_t e = clock->CommitEpoch();
+        clock->PublishWriter(exec_id_, e, &epoch_cache_);
+        for (Access& a : t.accesses) {
+          if (a.mode != txn::LockMode::kExclusive) continue;
+          storage::Table* tbl = db_->GetTable(a.table);
+          if (!tbl->versions_enabled()) continue;
+          tbl->InstallVersion(tbl->SlotOfRow(a.row), e, clock, exec_id_,
+                              &epoch_cache_);
+        }
+      }
     } else {
       tcb->replan_pending = true;  // stale OLLP estimate: re-plan after acks
     }
@@ -1768,6 +1850,66 @@ class ExecThread {
       }
     }
     stats_->Add(TimeCategory::kLocking, hal::Now() - t0);
+  }
+
+  // --- snapshot read path ----------------------------------------------
+
+  // Reconnaissance-planned transactions validate estimates against live
+  // rows (their Run may demand a re-plan, which the lock-free path cannot
+  // service), and appended rows materialize outside the version protocol;
+  // both fall back to ordinary CC.
+  bool SnapshotEligible(const Txn& t) const {
+    if (t.logic->NeedsReconnaissance()) return false;
+    for (const Access& a : t.accesses) {
+      if (!table_snapshot_ok_[a.table]) return false;
+    }
+    return true;
+  }
+
+  // Lock-free snapshot execution: load the read epoch once, copy each
+  // row's newest version stamped at or below it into the staging buffer,
+  // run the logic against the copies. Zero locks, zero messages.
+  void ExecuteSnapshot(Tcb* tcb) {
+    const hal::Cycles t0 = hal::Now();
+    Txn& t = tcb->txn;
+    storage::EpochClock* clock = db_->epoch_clock();
+    std::uint64_t r = clock->ReadEpoch();
+    for (;;) {
+      bool fresh = true;
+      for (std::size_t i = 0; i < t.accesses.size(); ++i) {
+        Access& a = t.accesses[i];
+        ResolveRow(db_, &a);
+        storage::Table* tbl = db_->GetTable(a.table);
+        std::uint8_t* dst = snap_scratch_.data() + i * snap_stride_;
+        if (!tbl->SnapshotRead(tbl->SlotOfRow(a.row), r, dst)) {
+          fresh = false;
+          break;
+        }
+        a.row = dst;
+      }
+      if (fresh) break;
+      // A row advanced twice past `r`: abandon the attempt, publish the
+      // reader heartbeat (licensing the floor past the abandoned reads),
+      // and restart the whole read set at a fresher epoch — refreshing a
+      // single row would observe mixed epochs.
+      clock->PublishIdle(exec_id_, &epoch_cache_);
+      // Fold the read epoch forward ourselves — a stale row means writers
+      // have moved past r, and waiting for the next tick to notice would
+      // stall this reader for the whole tick interval.
+      clock->FoldMins();
+      if (shared_->wal == nullptr) clock->MaybeTick(hal::Now());
+      hal::CpuRelax();
+      r = clock->ReadEpoch();
+    }
+    txn::ExecContext ec{db_, stats_, /*charge_cycles=*/true};
+    const bool ok = t.logic->Run(&t, ec);
+    // Gated on !NeedsReconnaissance, so the plan cannot be stale.
+    ORTHRUS_CHECK_MSG(ok, "snapshot read-only txn demanded a re-plan");
+    // Read-only commits are trivially durable (no redo): they bypass the
+    // WAL pipeline, so they are counted here even with durability on.
+    stats_->committed++;
+    stats_->txn_latency.Record(hal::Now() - t.start_cycles);
+    stats_->Add(TimeCategory::kExecution, hal::Now() - t0);
   }
 
   void OnAck(Tcb* tcb) {
@@ -1817,6 +1959,13 @@ class ExecThread {
   std::uint64_t rr_counter_ = 0;  // shared-CC home assignment
   // elastic_cc: this thread's cached lock-space view (null otherwise).
   std::unique_ptr<Router> router_;
+  // Snapshot read path (empty / default unless shared_->snapshot_reads):
+  // per-table eligibility, the version staging buffer, and the heartbeat
+  // publish cache for epoch clock slot exec_id_.
+  std::vector<bool> table_snapshot_ok_;
+  std::vector<std::uint8_t> snap_scratch_;
+  std::uint32_t snap_stride_ = 0;
+  storage::EpochClock::PublishCache epoch_cache_;
   // adaptive_drain_batch: per-quantum burst depths on the receive side.
   mp::detail::DrainBatchPolicy drain_est_;
 };
@@ -1898,6 +2047,7 @@ std::string OrthrusEngine::name() const {
   if (orthrus_.line_aligned_mesh) n += "-linemesh";
   if (orthrus_.backpressure_admission) n += "-bp";
   if (orthrus_.vectorized_cc) n += "-veccc";
+  if (orthrus_.snapshot_reads) n += "-snap";
   return n;
 }
 
@@ -1986,6 +2136,19 @@ RunResult OrthrusEngine::Run(hal::Platform* platform, storage::Database* db,
   shared.cc_combine = orthrus_.cc_combine;
   shared.cc_prefetched_op_cycles = orthrus_.cc_prefetched_op_cycles;
   shared.cc_run_op_cycles = orthrus_.cc_run_op_cycles;
+  shared.snapshot_reads = orthrus_.snapshot_reads;
+  if (orthrus_.snapshot_reads) {
+    // Version pairs + epoch clock, (re)seeded from the current main slabs
+    // (after a WAL recovery this folds the replayed images into the
+    // snapshot baseline). One heartbeat slot per exec thread; CC threads
+    // and loggers never install or read versions. With durability on, the
+    // group-commit logger ticks the clock on its epoch cadence; otherwise
+    // exec threads offer interval-gated ticks.
+    db->EnableSnapshotVersions(n_exec, orthrus_.snapshot_epoch_cycles);
+    if (options_.wal != nullptr) {
+      options_.wal->set_epoch_clock(db->epoch_clock());
+    }
+  }
   if (orthrus_.shared_cc_table) {
     shared.shared_cc =  // lint:allow-alloc setup
         std::make_unique<SharedCcTable>(n_cc, orthrus_.cc_op_cycles);

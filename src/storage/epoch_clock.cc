@@ -1,0 +1,71 @@
+#include "storage/epoch_clock.h"
+
+namespace orthrus::storage {
+
+void EpochClock::Reset(int n_slots, hal::Cycles tick_interval_cycles) {
+  ORTHRUS_CHECK(n_slots > 0);
+  ORTHRUS_CHECK(tick_interval_cycles > 0);
+  n_slots_ = n_slots;
+  tick_interval_ = tick_interval_cycles;
+  // Reset is single-threaded setup; all run-time paths only load/store the
+  // counters allocated here. (lint:allow-alloc on each site below.)
+  // lint:allow-alloc setup
+  commit_epoch_ = std::make_unique<hal::Atomic<std::uint64_t>>(kSeedEpoch);
+  read_epoch_ =  // lint:allow-alloc setup
+      std::make_unique<hal::Atomic<std::uint64_t>>(kSeedEpoch - 1);
+  reader_floor_ =  // lint:allow-alloc setup
+      std::make_unique<hal::Atomic<std::uint64_t>>(kSeedEpoch - 1);
+  // lint:allow-alloc setup
+  next_tick_ = std::make_unique<hal::Atomic<hal::Cycles>>(0);
+  // lint:allow-alloc setup
+  writer_hb_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(n_slots));
+  // lint:allow-alloc setup
+  reader_hb_ = std::make_unique<hal::Atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(n_slots));
+  for (int i = 0; i < n_slots; i++) {
+    // Fresh workers start at the seed view; Reset is single-threaded.
+    writer_hb_[i].RawStore(kSeedEpoch);
+    reader_hb_[i].RawStore(kSeedEpoch - 1);
+  }
+}
+
+void EpochClock::Tick() {
+  commit_epoch_->fetch_add(1);
+  FoldMins();
+}
+
+void EpochClock::FoldMins() {
+  std::uint64_t min_wh = kRetired;
+  std::uint64_t min_rh = kRetired;
+  for (int i = 0; i < n_slots_; i++) {
+    const std::uint64_t wh = writer_hb_[i].load();
+    if (wh < min_wh) min_wh = wh;
+    const std::uint64_t rh = reader_hb_[i].load();
+    if (rh < min_rh) min_rh = rh;
+  }
+  // All slots retired: freeze the fold (teardown).
+  if (min_wh == kRetired) return;
+  // Monotone max-stores: ticks are normally serialized (single logger or
+  // MaybeTick's claim), but a WAL logger and an engine-side MaybeTick may
+  // coexist, so never let a stale fold move either value backwards.
+  const std::uint64_t want_r = min_wh - 1;
+  std::uint64_t cur = read_epoch_->load();
+  while (cur < want_r && !read_epoch_->compare_exchange(cur, want_r)) {
+  }
+  if (min_rh != kRetired) {
+    cur = reader_floor_->load();
+    while (cur < min_rh && !reader_floor_->compare_exchange(cur, min_rh)) {
+    }
+  }
+}
+
+bool EpochClock::MaybeTick(hal::Cycles now) {
+  hal::Cycles due = next_tick_->load();
+  if (now < due) return false;
+  if (!next_tick_->compare_exchange(due, now + tick_interval_)) return false;
+  Tick();
+  return true;
+}
+
+}  // namespace orthrus::storage

@@ -1,0 +1,150 @@
+// Global epoch clock for snapshot reads (Silo-style, PR-6's group-commit
+// epoch recipe applied to versioned storage).
+//
+// Three monotone counters, all modeled atomics:
+//
+//  * commit epoch E — advanced by the ticker (the WAL group-commit logger
+//    when durability is on, any worker's interval-gated MaybeTick otherwise).
+//    Writers load it under their X locks and stamp the versions they install.
+//  * read epoch R — the stable snapshot: every transaction that stamped a
+//    version <= R has fully committed and published it. Maintained as
+//    (min writer heartbeat) - 1: a worker publishes its writer heartbeat
+//    wh := E at install time (and wh := commit epoch whenever it has no
+//    install in flight), so an in-flight writer always pins R below its
+//    stamp. Snapshot readers load R once per transaction and see a
+//    consistent cut: mixed-epoch rows are impossible because nothing
+//    stamped <= R is still being written.
+//  * reader floor F — (min reader heartbeat): a worker publishes its reader
+//    heartbeat rh := R' (the read epoch it observed) only when it has no
+//    snapshot read in flight, so every live reader's snapshot is >= F.
+//    Writers use F to gate version-slot reuse: a slot whose successor
+//    version is stamped S may be overwritten only once F >= S, i.e. once no
+//    live reader can still need anything older than S.
+//
+// Race-detector cleanliness: every data edge of the protocol runs through
+// these atomics. A reader's plain copy of a version slab happens-before the
+// slab's eventual reuse via reader-heartbeat release -> ticker acquire ->
+// floor release -> installing writer's acquire; a writer's plain install
+// happens-before every later read via the per-row meta word it releases
+// after copying (storage/table.h). No validated/seqlock reads anywhere, so
+// the PR-8 vector-clock detector proves the protocol race-free rather than
+// flagging benign races.
+//
+// Liveness: a writer spinning for F >= S keeps publishing its reader
+// heartbeat (it has no snapshot read in flight) and keeps offering ticks,
+// and lock waiters keep publishing both heartbeats. In any stalled state the
+// in-flight writer with the smallest stamp E_min needs only F >= S where
+// S < E_min, and every in-flight writer heartbeat is its own stamp
+// >= E_min >= S + 1, so the read epoch — and with it every reader
+// heartbeat — can always reach S. Induction on E_min: no deadlock.
+#ifndef ORTHRUS_STORAGE_EPOCH_CLOCK_H_
+#define ORTHRUS_STORAGE_EPOCH_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+#include "hal/hal.h"
+
+namespace orthrus::storage {
+
+class EpochClock {
+ public:
+  // First epoch writers stamp; loaded rows are seeded at kSeedEpoch - 1 so
+  // the initial read epoch (0) already serves every loaded image.
+  static constexpr std::uint64_t kSeedEpoch = 1;
+  // Heartbeat sentinel for a retired slot (dropped from the mins).
+  static constexpr std::uint64_t kRetired = ~0ull;
+
+  // Per-worker cache of the last published heartbeat values, so a quiet
+  // boundary costs two shared (L1-resident) loads and no stores.
+  struct PublishCache {
+    std::uint64_t wh = 0;
+    std::uint64_t rh = 0;
+  };
+
+  // Setup-time (single-threaded). `n_slots` heartbeat slots, one per worker
+  // that runs transactions; `tick_interval_cycles` gates MaybeTick.
+  void Reset(int n_slots, hal::Cycles tick_interval_cycles);
+
+  int n_slots() const { return n_slots_; }
+  bool enabled() const { return n_slots_ > 0; }
+
+  // --- run-time, modeled accesses --------------------------------------
+
+  std::uint64_t CommitEpoch() { return commit_epoch_->load(); }
+  std::uint64_t ReadEpoch() { return read_epoch_->load(); }
+  std::uint64_t ReaderFloor() { return reader_floor_->load(); }
+
+  // Idle-point heartbeat: no install and no snapshot read in flight on
+  // `slot`. Publishes wh := commit epoch and rh := read epoch (stores only
+  // on change, via `cache`).
+  void PublishIdle(int slot, PublishCache* cache) {
+    PublishWriter(slot, CommitEpoch(), cache);
+    PublishReader(slot, ReadEpoch(), cache);
+  }
+
+  // Install-time heartbeat: the worker is about to stamp versions with
+  // `epoch` and must pin the read epoch below it until its next publish.
+  // Legal any time before the stamp is used; monotone per slot.
+  void PublishWriter(int slot, std::uint64_t epoch, PublishCache* cache) {
+    ORTHRUS_DCHECK(slot >= 0 && slot < n_slots_);
+    if (epoch != cache->wh) {
+      writer_hb_[slot].store(epoch);
+      cache->wh = epoch;
+    }
+  }
+
+  // Reader heartbeat: no snapshot read in flight on `slot` (between
+  // transactions, in lock-wait loops, or while a writer spins on the
+  // floor). Never call mid-snapshot — a live reader's epoch must stay
+  // >= its worker's last published rh.
+  void PublishReader(int slot, std::uint64_t read_epoch, PublishCache* cache) {
+    ORTHRUS_DCHECK(slot >= 0 && slot < n_slots_);
+    if (read_epoch != cache->rh) {
+      reader_hb_[slot].store(read_epoch);
+      cache->rh = read_epoch;
+    }
+  }
+
+  // Permanently drops `slot` from both mins (worker exit).
+  void Retire(int slot) {
+    ORTHRUS_DCHECK(slot >= 0 && slot < n_slots_);
+    writer_hb_[slot].store(kRetired);
+    reader_hb_[slot].store(kRetired);
+  }
+
+  // Advances the commit epoch and folds heartbeats into the read epoch and
+  // reader floor. Single-caller cadence: the WAL group-commit logger when
+  // durability is on (wal::GroupCommitLog::set_epoch_clock), else whoever
+  // wins MaybeTick.
+  void Tick();
+
+  // Folds the heartbeat mins into the read epoch and reader floor WITHOUT
+  // advancing the commit epoch. Any spinner may call it: a writer stalled
+  // on the floor or a reader whose snapshot went stale converges as soon
+  // as the other workers have published, instead of waiting out the tick
+  // interval — which also advances E and would manufacture the next stall.
+  // Monotone CAS-max stores, so concurrent folds (or a racing Tick) are
+  // safe, and the fold's acquire-of-heartbeats / release-of-floor keeps the
+  // detector's happens-before chain identical to the ticker's.
+  void FoldMins();
+
+  // Interval-gated Tick; any worker may offer one. Returns whether this
+  // call ticked.
+  bool MaybeTick(hal::Cycles now);
+
+ private:
+  int n_slots_ = 0;
+  hal::Cycles tick_interval_ = 0;
+  std::unique_ptr<hal::Atomic<std::uint64_t>> commit_epoch_;
+  std::unique_ptr<hal::Atomic<std::uint64_t>> read_epoch_;
+  std::unique_ptr<hal::Atomic<std::uint64_t>> reader_floor_;
+  std::unique_ptr<hal::Atomic<hal::Cycles>> next_tick_;
+  std::unique_ptr<hal::Atomic<std::uint64_t>[]> writer_hb_;
+  std::unique_ptr<hal::Atomic<std::uint64_t>[]> reader_hb_;
+};
+
+}  // namespace orthrus::storage
+
+#endif  // ORTHRUS_STORAGE_EPOCH_CLOCK_H_

@@ -194,6 +194,10 @@ void GroupCommitLog::RunLogger(int logger_index, runtime::WorkerContext* ctx) {
         const std::uint64_t e = epoch_.fetch_add(1) + 1;
         next_epoch_at = now + interval;
         progress = true;
+        // Snapshot clock rides the same cadence: each WAL epoch advance
+        // also advances the commit epoch and folds the heartbeat minima
+        // into the read epoch / reader floor (storage/epoch_clock.h).
+        if (epoch_clock_ != nullptr) epoch_clock_->Tick();
         // Rotate only once the previous handoff chain has fully settled:
         // every shard-owner word equals the routed table. A rotation
         // published mid-handoff can route a partition away from an
@@ -669,8 +673,15 @@ RecoveryResult Recover(const std::vector<std::vector<std::uint8_t>>& logs,
         ORTHRUS_CHECK(wh.len == tbl->row_bytes());
         std::uint64_t& av = applied[wh.table][wh.slot];
         if (wh.version > av) {
-          std::memcpy(tbl->RowBySlot(wh.slot), w + sizeof(WriteImageHeader),
-                      wh.len);
+          void* dst = tbl->RowBySlot(wh.slot);
+          // Recovery owns the database exclusively (post-join, or a fresh
+          // database before any engine run); all other recovery state —
+          // frame offsets, the applied-version matrix, the accumulator map
+          // — is function-local. Tagging the one shared-structure write
+          // (the row image) turns an engine run racing Recover on the same
+          // database into a detector report.
+          hal::RaceCheck(dst, wh.len, /*is_write=*/true, "wal.recover.row");
+          std::memcpy(dst, w + sizeof(WriteImageHeader), wh.len);
           av = wh.version;
           r.writes_applied++;
         }

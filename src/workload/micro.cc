@@ -93,9 +93,11 @@ class KvWorkload::ReadLogic final : public txn::TxnLogic {
 
 class KvWorkload::Source final : public TxnSource {
  public:
-  Source(const KvConfig& config, txn::TxnLogic* logic, int worker_id)
+  Source(const KvConfig& config, txn::TxnLogic* logic,
+         txn::TxnLogic* read_logic, int worker_id)
       : config_(config),
         logic_(logic),
+        read_logic_(read_logic),
         rng_(config.seed * 0x9E3779B97F4A7C15ull + 0xABCD + worker_id),
         worker_id_(worker_id) {
     if (config_.zipf_theta > 0.0) {
@@ -106,7 +108,14 @@ class KvWorkload::Source final : public TxnSource {
 
   void Next(txn::Txn* t) override {
     t->ResetForReuse();
-    t->logic = logic_;
+    // Mixed streams draw the transaction kind first; pure streams skip the
+    // draw entirely so their key sequences stay bit-identical to builds
+    // without the pct_read_only knob.
+    t->logic =
+        read_logic_ != nullptr &&
+                rng_.Percent(static_cast<unsigned>(config_.pct_read_only))
+            ? read_logic_
+            : logic_;
     KvParams* p = t->Params<KvParams>();
     p->n_ops = config_.ops_per_txn;
     ORTHRUS_CHECK(config_.ops_per_txn <= KvParams::kMaxOps);
@@ -221,6 +230,7 @@ class KvWorkload::Source final : public TxnSource {
 
   KvConfig config_;
   txn::TxnLogic* logic_;
+  txn::TxnLogic* read_logic_;
   Rng rng_;
   int worker_id_;
   std::unique_ptr<ZipfianGenerator> zipf_;
@@ -245,12 +255,22 @@ KvWorkload::KvWorkload(KvConfig config) : config_(config) {
   } else {
     logic_ = std::make_unique<RmwLogic>();
   }
+  if (config_.pct_read_only > 0) {
+    ORTHRUS_CHECK_MSG(!config_.read_only,
+                      "pct_read_only mixes reads into an RMW stream; a "
+                      "read-only stream has nothing to mix");
+    ORTHRUS_CHECK(config_.pct_read_only <= 100);
+    read_logic_ = std::make_unique<ReadLogic>();
+  }
 }
 
 KvWorkload::~KvWorkload() = default;
 
 std::string KvWorkload::name() const {
   std::string n = config_.read_only ? "kv-read" : "kv-rmw";
+  if (config_.pct_read_only > 0) {
+    n += "-r" + std::to_string(config_.pct_read_only);
+  }
   if (config_.hot_records > 0) {
     n += "-hot" + std::to_string(config_.hot_records);
   }
@@ -281,7 +301,8 @@ void KvWorkload::Load(storage::Database* db, int num_table_partitions) {
 }
 
 std::unique_ptr<TxnSource> KvWorkload::MakeSource(int worker_id) const {
-  return std::make_unique<Source>(config_, logic_.get(), worker_id);
+  return std::make_unique<Source>(config_, logic_.get(), read_logic_.get(),
+                                  worker_id);
 }
 
 std::uint64_t KvWorkload::SumCounters(const storage::Database& db) const {

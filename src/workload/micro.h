@@ -26,6 +26,13 @@ struct KvConfig {
   int ops_per_txn = 10;
   bool read_only = false;
 
+  // Mixed read/write stream: this percentage of transactions are
+  // read-only (all-kShared access sets, classified at admission so
+  // snapshot-capable engines serve them lock-free); the rest are RMW.
+  // 0 keeps the single-logic streams bit-identical to before the knob
+  // existed (no extra rng draw); requires read_only == false.
+  int pct_read_only = 0;
+
   // Contention: 0 = uniform (low contention). Otherwise each transaction
   // takes `hot_ops` distinct keys from [0, hot_records) — acquired first —
   // and the remainder from the cold range.
@@ -84,6 +91,7 @@ class KvWorkload final : public Workload {
 
   KvConfig config_;
   std::unique_ptr<txn::TxnLogic> logic_;
+  std::unique_ptr<txn::TxnLogic> read_logic_;  // non-null iff pct_read_only
 };
 
 }  // namespace orthrus::workload

@@ -19,6 +19,7 @@
 
 #include "common/fnv.h"
 #include "engine/deadlockfree/deadlockfree_engine.h"
+#include "engine/mvcc/mvcc_engine.h"
 #include "engine/orthrus/orthrus_engine.h"
 #include "engine/partitioned/partitioned_engine.h"
 #include "engine/sharedcc/sharedcc_engine.h"
@@ -156,6 +157,14 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     outcomes.emplace_back(eng.name(),
                           RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
   }
+  {
+    // The sixth architecture: epoch-snapshot MVCC. A pure-RMW stream has
+    // no read-only transactions, so this pins the write path — shared-CC
+    // locking plus version installs — to the same committed multiset.
+    engine::MvccEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(eng.name(),
+                          RunOne(&eng, &plain, kExecWorkers, kExecWorkers));
+  }
   // ORTHRUS variants: every message-passing configuration (forwarding
   // on/off, batched delivery on/off, sender-side coalescing on/off,
   // adaptive drain order / flush thresholds / drain batch sizing,
@@ -177,6 +186,7 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     bool combined_grants = false;
     bool adaptive_drain_batch = false;
     bool vectorized_cc = false;
+    bool snapshot_reads = false;
   };
   for (const OrthrusCase& c :
        {OrthrusCase{true, true, false}, OrthrusCase{false, true, false},
@@ -189,7 +199,12 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
         OrthrusCase{true, true, false, false, true, false, false,
                     /*adaptive_drain_batch=*/true},
         OrthrusCase{true, true, false, false, true, false, false, false,
-                    /*vectorized_cc=*/true}}) {
+                    /*vectorized_cc=*/true},
+        // snapshot_reads over pure RMW: every transaction still runs the
+        // lock path, but versions install and the epoch clock ticks —
+        // neither may change what commits.
+        OrthrusCase{true, true, false, false, true, false, false, false,
+                    false, /*snapshot_reads=*/true}}) {
     engine::OrthrusOptions oo;
     oo.num_cc = kOrthrusCc;
     // One transaction in flight per exec thread: the commit cap is checked
@@ -204,6 +219,7 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     oo.combined_grants = c.combined_grants;
     oo.adaptive_drain_batch = c.adaptive_drain_batch;
     oo.vectorized_cc = c.vectorized_cc;
+    oo.snapshot_reads = c.snapshot_reads;
     ORTHRUS_CHECK(!oo.elastic);     // the static-mesh digest pin
     ORTHRUS_CHECK(!oo.elastic_cc);  // the static lock-space pin
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
@@ -239,6 +255,82 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTransactionSet) {
     EXPECT_EQ(out.committed, want_committed) << name;
     EXPECT_EQ(out.counter_sum, want_counters) << name;
     EXPECT_EQ(out.digest, outcomes.front().second.digest)
+        << name << " diverged from " << outcomes.front().first;
+  }
+}
+
+// Mixed read/write stream: half the transactions are read-only, and the
+// snapshot-capable engines (MvccEngine always; ORTHRUS with
+// snapshot_reads) serve them lock-free from the epoch-versioned slabs
+// while the locking engines serialize them through shared locks. Every
+// engine still commits exactly the first K transactions of each worker's
+// stream, and read-only transactions write nothing — so the commit
+// counts, the RMW counter sums, and the final table digests must all
+// match the locking reference. This is the cross-engine pin that the
+// snapshot protocol serves committed state: a reader observing a torn or
+// uncommitted image would still pass here only if it also left the tables
+// untouched, which the property test (snapshot_property_test) rules out
+// by construction.
+TEST(EngineEquivalence, SnapshotReadersMatchLockingEngines) {
+  workload::YcsbSpec spec = Spec();
+  workload::KvConfig cfg = workload::MakeYcsbConfig(spec);
+  cfg.pct_read_only = 50;
+  workload::KvWorkload kv(cfg);
+  ShiftedWorkload plain(&kv, 0);
+  ShiftedWorkload orthrus_aligned(&kv, kOrthrusCc);
+
+  const auto run_plain = [&](engine::Engine* eng) {
+    workload::KvWorkload fresh(cfg);
+    storage::Database db;
+    fresh.Load(&db, 1);
+    db.partitioner().n = kExecWorkers;
+    hal::SimPlatform sim(kExecWorkers, SimConfigFromEnv());
+    const RunResult r = eng->Run(&sim, &db, plain);
+    return Outcome{r.total.committed, fresh.SumCounters(db),
+                   TableDigest(db)};
+  };
+
+  std::vector<std::pair<std::string, Outcome>> outcomes;
+  {
+    engine::TwoPlEngine eng(Options(kExecWorkers),
+                            engine::DeadlockPolicyKind::kWaitDie);
+    outcomes.emplace_back(eng.name(), run_plain(&eng));
+  }
+  {
+    engine::SharedCcEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(eng.name(), run_plain(&eng));
+  }
+  {
+    engine::MvccEngine eng(Options(kExecWorkers));
+    outcomes.emplace_back(eng.name(), run_plain(&eng));
+  }
+  for (const bool snap : {false, true}) {
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    oo.snapshot_reads = snap;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    workload::KvWorkload fresh(cfg);
+    storage::Database db;
+    fresh.Load(&db, 1);
+    db.partitioner().n = kOrthrusCc;
+    hal::SimPlatform sim(kOrthrusCc + kExecWorkers, SimConfigFromEnv());
+    const RunResult r = eng.Run(&sim, &db, orthrus_aligned);
+    outcomes.emplace_back(
+        eng.name(),
+        Outcome{r.total.committed, fresh.SumCounters(db), TableDigest(db)});
+  }
+
+  const std::uint64_t want_committed = kExecWorkers * kTxnsPerWorker;
+  const Outcome& first = outcomes.front().second;
+  // The mix only means anything if both kinds actually committed: pure
+  // RMW would sum to 10 * committed, pure reads to 0.
+  ASSERT_GT(first.counter_sum, 0u);
+  ASSERT_LT(first.counter_sum, want_committed * 10);
+  for (const auto& [name, out] : outcomes) {
+    EXPECT_EQ(out.committed, want_committed) << name;
+    EXPECT_EQ(out.counter_sum, first.counter_sum) << name;
+    EXPECT_EQ(out.digest, first.digest)
         << name << " diverged from " << outcomes.front().first;
   }
 }
@@ -385,6 +477,21 @@ TEST(EngineEquivalence, AllEnginesCommitTheSameTpccTransactionSet) {
                           RunTpcc(&eng, kOrthrusCc + kExecWorkers, kOrthrusCc,
                                   kOrthrusCc));
   }
+  {
+    // Snapshot reads over TPC-C: NewOrder needs reconnaissance and the
+    // ring tables carry append regions, so the eligibility gate routes
+    // every transaction through ordinary CC — but versions still install
+    // on the fixed-population tables and the epoch clock still ticks,
+    // neither of which may change what commits.
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    oo.snapshot_reads = true;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunTpcc(&eng, kOrthrusCc + kExecWorkers, kOrthrusCc,
+                                  kOrthrusCc));
+  }
 
   const std::uint64_t want_committed = kExecWorkers * kTxnsPerWorker;
   for (const auto& [name, out] : outcomes) {
@@ -450,6 +557,21 @@ TEST(EngineEquivalence, FullMixSeededDeliveriesMatchAcrossEngines) {
     oo.num_cc = kOrthrusCc;
     oo.max_inflight = 1;
     oo.vectorized_cc = true;
+    engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
+    outcomes.emplace_back(eng.name(),
+                          RunTpccAt(&eng, kOrthrusCc + kExecWorkers,
+                                    kOrthrusCc, kOrthrusCc, scale));
+  }
+  {
+    // Snapshot reads over the full mix: OrderStatus and StockLevel are
+    // classified read-only at admission, but both need reconnaissance
+    // (ring scans guarded by district locks), so the eligibility gate
+    // must route them through CC — a gate miss would run them lock-free
+    // against live rings and diverge every digest below.
+    engine::OrthrusOptions oo;
+    oo.num_cc = kOrthrusCc;
+    oo.max_inflight = 1;
+    oo.snapshot_reads = true;
     engine::OrthrusEngine eng(Options(kOrthrusCc + kExecWorkers), oo);
     outcomes.emplace_back(eng.name(),
                           RunTpccAt(&eng, kOrthrusCc + kExecWorkers,

@@ -13,11 +13,12 @@ Enforces three contracts that neither the compiler nor clang-tidy checks:
    line above it.
 
 2. hot-alloc: no allocation (new / malloc / calloc / realloc / free /
-   make_unique / make_shared) in src/mp/, src/lock/, or
+   make_unique / make_shared) in src/mp/, src/lock/, src/storage/, or
    src/engine/orthrus/. The paper's tuned lock manager "never interacts
    with a memory allocator" on the hot path; these directories ARE hot
-   path — the ORTHRUS CC loop's batch staging arrays in particular must
-   come from setup-time sizing — so every allocation must be an explicitly
+   path — the ORTHRUS CC loop's batch staging arrays, and the storage
+   layer's version-install / snapshot-read fast paths, must come from
+   setup-time sizing — so every allocation must be an explicitly
    marked setup/cold-path site.
    Escape: `// lint:allow-alloc <why>` on the offending line or the line
    above it.
@@ -130,7 +131,9 @@ def main():
         rules = set()
         if not rel.startswith("src/hal/"):
             rules.add("raw-sync")
-        if rel.startswith(("src/mp/", "src/lock/", "src/engine/orthrus/")):
+        if rel.startswith(
+                ("src/mp/", "src/lock/", "src/storage/",
+                 "src/engine/orthrus/")):
             rules.add("hot-alloc")
         if rules:
             violations.extend(lint_file(path, rules))
